@@ -1,0 +1,14 @@
+"""Ablation bench: tau policy and similarity target of DML training."""
+
+from repro.experiments import ablation_dml_design
+
+
+def test_ablation_dml_design(benchmark, suite, save_result):
+    result = benchmark.pedantic(
+        lambda: ablation_dml_design.run(suite), rounds=1, iterations=1)
+    save_result("ablation_dml_design", result.text)
+    # Shape check: the quantile-tau default beats the fixed-tau literal
+    # protocol (small tolerance — variants share the corpus, not the noise).
+    default = result.means["quantile-tau + weight-cycle"]
+    literal = result.means["fixed-tau + weight-cycle (paper-literal)"]
+    assert default <= literal + 0.02

@@ -1,0 +1,19 @@
+"""Extensibility bench: FLAT joins the candidate set via the registry."""
+
+from repro.experiments import ext_flat
+
+
+def test_ext_flat(benchmark, suite, save_result):
+    result = benchmark.pedantic(
+        lambda: ext_flat.run(suite), rounds=1, iterations=1)
+    save_result("ext_flat", result.text)
+    assert "FLAT" in result.model_names
+    # Shape check: no single model (including FLAT) wins everywhere —
+    # the no-free-lunch pattern of Fig. 1.
+    for w, counts in result.wins.items():
+        assert max(counts.values()) < sum(counts.values())
+    # FLAT is competitive: strictly better than the worst incumbent on
+    # mean accuracy score.
+    scores = dict(result.mean_scores)
+    flat = scores.pop("FLAT")
+    assert flat > min(scores.values())

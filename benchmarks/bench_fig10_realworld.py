@@ -1,0 +1,13 @@
+"""Figure 10: advisor efficacy on IMDB-20 / STATS-20."""
+
+from repro.experiments import fig10_realworld
+
+
+def test_fig10_realworld(benchmark, suite, save_result):
+    result = benchmark.pedantic(
+        lambda: fig10_realworld.run(suite), rounds=1, iterations=1)
+    save_result("fig10_realworld", result.text)
+    # Shape check: AutoCE beats Rule on both real-world suites.
+    for name in ("IMDB-20", "STATS-20"):
+        assert result.mean_d_error[name]["AutoCE"] <= \
+            result.mean_d_error[name]["Rule"] + 1e-9

@@ -1,0 +1,14 @@
+"""Figure 11: ablations of deep metric learning and incremental learning."""
+
+import numpy as np
+
+from repro.experiments import fig11_ablations
+
+
+def test_fig11_ablations(benchmark, suite, save_result):
+    result = benchmark.pedantic(
+        lambda: fig11_ablations.run(suite), rounds=1, iterations=1)
+    save_result("fig11_ablations", result.text)
+    # Shape check: DML helps on average across the three weights.
+    assert (np.mean(list(result.dml["AutoCE"].values()))
+            <= np.mean(list(result.dml["Without DML"].values())) + 0.02)

@@ -1,0 +1,17 @@
+"""Figure 12: AutoCE vs online learning (Sampling, Learning-All)."""
+
+from repro.experiments import fig12_online_learning
+
+
+def test_fig12_online_learning(benchmark, suite, save_result):
+    result = benchmark.pedantic(
+        lambda: fig12_online_learning.run(suite), rounds=1, iterations=1)
+    save_result("fig12_online_learning", result.text)
+    # Shape checks (paper Fig. 12): AutoCE is orders of magnitude faster;
+    # Learning-All is near-optimal (its residual D-error is re-measurement
+    # noise); AutoCE's D-error is close to Learning-All's, far from the
+    # paper's 34.8% Sampling regime.
+    n = max(result.seconds["AutoCE"])
+    assert result.seconds["AutoCE"][n] * 20 < result.seconds["Learning-All"][n]
+    assert result.d_error["Learning-All"] <= 0.05
+    assert result.d_error["AutoCE"] <= 0.10

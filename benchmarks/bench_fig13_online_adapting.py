@@ -1,0 +1,14 @@
+"""Figure 13: ablation of online adapting on drifted datasets."""
+
+import numpy as np
+
+from repro.experiments import fig13_online_adapting
+
+
+def test_fig13_online_adapting(benchmark, suite, save_result):
+    result = benchmark.pedantic(
+        lambda: fig13_online_adapting.run(suite), rounds=1, iterations=1)
+    save_result("fig13_online_adapting", result.text)
+    # Shape check: adapting reduces the mean D-error on drifted datasets.
+    assert (np.mean(list(result.with_adapting.values()))
+            <= np.mean(list(result.without.values())) + 0.05)

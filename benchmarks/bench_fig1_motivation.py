@@ -1,0 +1,12 @@
+"""Figure 1: the motivating experiment (CE models across datasets)."""
+
+from repro.experiments import fig1_motivation
+
+
+def test_fig1_motivation(benchmark, suite, save_result):
+    result = benchmark.pedantic(
+        lambda: fig1_motivation.run(suite), rounds=1, iterations=1)
+    save_result("fig1_motivation", result.text)
+    # Shape check: NeuroCard is the slowest of the three on Power (paper
+    # Fig. 1c) and the accuracy ranking differs between the two datasets.
+    assert result.power_latency_ms["NeuroCard"] > result.power_latency_ms["MSCN"]

@@ -1,0 +1,14 @@
+"""Figure 7: weighted vs basic contrastive loss."""
+
+import numpy as np
+
+from repro.experiments import fig7_loss_ablation
+
+
+def test_fig7_loss_ablation(benchmark, suite, save_result):
+    result = benchmark.pedantic(
+        lambda: fig7_loss_ablation.run(suite), rounds=1, iterations=1)
+    save_result("fig7_loss_ablation", result.text)
+    # Shape check: the weighted loss wins on average across weights.
+    assert (np.mean(list(result.weighted.values()))
+            <= np.mean(list(result.basic.values())) + 0.02)

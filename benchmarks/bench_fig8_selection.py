@@ -1,0 +1,15 @@
+"""Figure 8: AutoCE vs MLP / Rule / Sampling / Knn across metric weights."""
+
+import numpy as np
+
+from repro.experiments import fig8_selection_baselines
+
+
+def test_fig8_selection_baselines(benchmark, suite, save_result):
+    result = benchmark.pedantic(
+        lambda: fig8_selection_baselines.run(suite), rounds=1, iterations=1)
+    save_result("fig8_selection_baselines", result.text)
+    # Shape check: AutoCE's mean D-error beats every baseline on average.
+    autoce = np.mean(list(result.d_error["AutoCE"].values()))
+    for advisor in ("MLP", "Rule", "Knn", "Sampling"):
+        assert autoce <= np.mean(list(result.d_error[advisor].values())) + 1e-9

@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the hot paths.
+
+These exercise the operations whose latency the paper cares about —
+AutoCE's inference path (featurize → GIN embed → KNN), exact true-card
+counting, and the per-query estimation cost of representative CE models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ce.base import TrainingContext
+from repro.ce.lwnn import LWNN, LWNNConfig
+from repro.ce.neurocard import NeuroCard, NeuroCardConfig
+from repro.core.graph import build_feature_graph
+from repro.datagen.multi_table import generate_dataset
+from repro.datagen.spec import random_spec
+from repro.db.counting import count_join
+from repro.workload.generator import generate_workload
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(random_spec(123, ranges={"num_tables": (4, 4)}))
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return generate_workload(dataset, num_train=60, num_test=20, seed=1)
+
+
+@pytest.fixture(scope="module")
+def ctx(dataset, workload):
+    return TrainingContext.build(dataset, workload, sample_size=800)
+
+
+def test_bench_feature_extraction(benchmark, dataset):
+    graph = benchmark(build_feature_graph, dataset)
+    assert graph.num_tables == dataset.num_tables
+
+
+def test_bench_exact_counting(benchmark, dataset, workload):
+    query = max(workload.test, key=lambda q: len(q.tables))
+    count = benchmark(count_join, dataset, query.tables,
+                      query.predicate_tuples())
+    assert count == query.true_cardinality
+
+
+def test_bench_autoce_inference(benchmark, suite, dataset):
+    advisor = suite.autoce()
+    graph = advisor.featurize(dataset)
+    rec = benchmark(advisor.recommend, graph, 0.9)
+    assert rec.model
+
+
+def test_bench_lwnn_estimate(benchmark, ctx, workload):
+    model = LWNN(LWNNConfig(epochs=20))
+    model.fit(ctx)
+    query = workload.test[0]
+    value = benchmark(model.estimate, query)
+    assert value >= 1.0
+
+
+def test_bench_neurocard_estimate(benchmark, ctx, workload):
+    model = NeuroCard(NeuroCardConfig(epochs=2, hidden=24, num_samples=32))
+    model.fit(ctx)
+    query = workload.test[0]
+    value = benchmark(model.estimate, query)
+    assert value >= 1.0
+
+
+def test_bench_gin_embedding(benchmark, suite, dataset):
+    advisor = suite.autoce()
+    graph = advisor.featurize(dataset)
+    embedding = benchmark(advisor.encoder.embed_one, graph)
+    assert embedding.shape == (advisor.config.embedding_dim,)

@@ -1,0 +1,11 @@
+"""Table I: dataset statistics."""
+
+from repro.experiments import table1_datasets
+
+
+def test_table1_datasets(benchmark, suite, save_result):
+    result = benchmark.pedantic(
+        lambda: table1_datasets.run(suite), rounds=1, iterations=1)
+    save_result("table1_datasets", result.text)
+    names = [row[0] for row in result.rows]
+    assert names == ["imdb_light", "stats_light", "power", "synthetic"]

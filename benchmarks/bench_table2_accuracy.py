@@ -1,0 +1,36 @@
+"""Table II: recommendation accuracy of the five advisors."""
+
+import numpy as np
+
+from repro.experiments import table2_accuracy
+
+
+def test_table2_accuracy(benchmark, suite, save_result):
+    result = benchmark.pedantic(
+        lambda: table2_accuracy.run(suite), rounds=1, iterations=1)
+    save_result("table2_accuracy", result.text)
+
+    # Shape checks: AutoCE is far above Rule overall, leads (within noise)
+    # on the in-distribution synthetic suite, and stays within a few points
+    # of the best advisor overall.  (On the out-of-distribution preset
+    # clones the MLP/Sampling baselines transfer slightly better at this
+    # corpus scale — recorded as a deviation in EXPERIMENTS.md.)
+    def mean_accuracy(advisor, suites=None):
+        values = []
+        for suite_name, per_weight in result.accuracy.items():
+            if suites is not None and not any(s in suite_name for s in suites):
+                continue
+            for per_advisor in per_weight.values():
+                if advisor in per_advisor:
+                    values.extend(per_advisor[advisor].values())
+        return float(np.mean(values))
+
+    autoce = mean_accuracy("AutoCE")
+    assert autoce >= mean_accuracy("Rule") + 0.2
+    # Sampling pays full online training per dataset (the cost Fig. 12
+    # charges it for), so it is only held to the synthetic-suite check.
+    for advisor in ("MLP", "Knn", "Sampling"):
+        assert (mean_accuracy("AutoCE", suites=("Synthetic",))
+                >= mean_accuracy(advisor, suites=("Synthetic",)) - 0.05)
+    for advisor in ("MLP", "Knn"):
+        assert autoce >= mean_accuracy(advisor) - 0.12

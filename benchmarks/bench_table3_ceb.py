@@ -1,0 +1,15 @@
+"""Table III: the CEB-like benchmark (query-driven candidates only)."""
+
+import numpy as np
+
+from repro.experiments import table3_ceb
+
+
+def test_table3_ceb(benchmark, suite, save_result):
+    result = benchmark.pedantic(
+        lambda: table3_ceb.run(suite), rounds=1, iterations=1)
+    save_result("table3_ceb", result.text)
+    # Shape check: AutoCE achieves the lowest mean D-error across weights.
+    autoce = np.mean(list(result.d_error["AutoCE"].values()))
+    for model in ("MSCN", "LW-NN", "LW-XGB"):
+        assert autoce <= np.mean(list(result.d_error[model].values())) + 1e-9

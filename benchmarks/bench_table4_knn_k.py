@@ -1,0 +1,18 @@
+"""Table IV: D-error of the KNN predictor as k varies."""
+
+import numpy as np
+
+from repro.experiments import table4_knn_k
+
+
+def test_table4_knn_k(benchmark, suite, save_result):
+    result = benchmark.pedantic(
+        lambda: table4_knn_k.run(suite), rounds=1, iterations=1)
+    save_result("table4_knn_k", result.text)
+    # Shape check (U-curve): a moderate k beats both extremes on average.
+    ks = sorted(next(iter(result.d_error.values())))
+    means = {k: np.mean([result.d_error[w][k] for w in result.d_error])
+             for k in ks}
+    interior = [means[k] for k in ks[1:-1]]
+    assert min(interior) <= means[ks[0]] + 1e-9
+    assert min(interior) <= means[ks[-1]] + 1e-9

@@ -1,0 +1,13 @@
+"""Table V: end-to-end latency in the PostgreSQL substitute."""
+
+from repro.experiments import table5_e2e
+
+
+def test_table5_e2e(benchmark, suite, save_result):
+    result = benchmark.pedantic(
+        lambda: table5_e2e.run(suite), rounds=1, iterations=1)
+    save_result("table5_e2e", result.text)
+    # Shape checks: TrueCard's plans are at least as good as the PostgreSQL
+    # estimator's on multi-table workloads (plan quality dominates there).
+    multi = result.totals["multi-table"]
+    assert multi["TrueCard"][0] <= multi["PostgreSQL"][0] * 1.15

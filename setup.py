@@ -1,0 +1,4 @@
+"""Thin setup.py enabling legacy editable installs (no `wheel` available offline)."""
+from setuptools import setup
+
+setup()

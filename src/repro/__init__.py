@@ -1,0 +1,24 @@
+"""repro: a full reproduction of AutoCE (ICDE 2023).
+
+AutoCE is a *model advisor* for learned cardinality estimation: given any
+dataset and a user-specified weighting between estimation accuracy and
+inference efficiency, it recommends which CE model to deploy - without
+training a single CE model on the target dataset.
+
+Public entry points
+-------------------
+* :class:`repro.core.AutoCE` - the advisor (fit / recommend / adapt).
+* :mod:`repro.datagen` - synthetic dataset generation (skew, correlations).
+* :mod:`repro.workload` - SPJ workload generation with exact true cards.
+* :mod:`repro.ce` - nine cardinality estimators (MSCN, LW-NN, LW-XGB,
+  DeepDB, BayesCard, NeuroCard, UAE, Ensemble, Postgres).
+* :mod:`repro.testbed` - the unified CE testbed that labels datasets.
+* :mod:`repro.engine` - a cost-based optimizer + executor for end-to-end
+  latency experiments (the PostgreSQL substitute).
+* :mod:`repro.experiments` - drivers regenerating every table and figure of
+  the paper's evaluation section.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,46 @@
+"""Ensemble baseline (baseline 8 of Sec. VII-A).
+
+A weighted average of all candidate CE models, with weights proportional to
+each model's accuracy on the training workload (inverse mean Q-error).
+Averaging happens in log-cardinality space, which is the geometric mean the
+Q-error metric is aligned with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..workload.query import Query
+from .base import CEModel, TrainingContext, clip_card
+
+
+class EnsembleCE(CEModel):
+    name = "Ensemble"
+
+    def __init__(self, models: list[CEModel]):
+        if not models:
+            raise ValueError("ensemble needs at least one base model")
+        self.models = list(models)
+        self.weights = np.ones(len(models)) / len(models)
+
+    def fit(self, ctx: TrainingContext) -> None:
+        """Set weights from training-workload accuracy.
+
+        Base models are assumed to be fitted already (the testbed fits them
+        once and shares them).
+        """
+        queries = ctx.workload.train
+        true = np.array([q.true_cardinality for q in queries], dtype=np.float64)
+        inverse_errors = []
+        for model in self.models:
+            estimates = model.estimate_batch(queries)
+            ratio = np.maximum(estimates, true + 1.0) / np.maximum(
+                np.minimum(estimates, true + 1.0), 1.0)
+            inverse_errors.append(1.0 / float(ratio.mean()))
+        weights = np.array(inverse_errors)
+        self.weights = weights / weights.sum()
+
+    def estimate(self, query: Query) -> float:
+        logs = np.array([np.log(model.estimate(query) + 1.0)
+                         for model in self.models])
+        return clip_card(float(np.exp(np.dot(self.weights, logs)) - 1.0))

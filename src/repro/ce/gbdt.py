@@ -1,0 +1,138 @@
+"""Gradient-boosted regression trees, from scratch.
+
+A CPU re-implementation of the XGBoost-style regressor behind LW-XGB.  With
+squared loss, second-order boosting reduces to fitting each tree to the
+current residuals with variance-reduction splits, which is what we implement
+(exact greedy splits over sorted feature values, depth- and leaf-size
+bounded, shrinkage between rounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class TreeNode:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class RegressionTree:
+    """A single variance-reduction regression tree."""
+
+    def __init__(self, max_depth: int = 3, min_samples_leaf: int = 3,
+                 min_gain: float = 1e-9):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_gain = min_gain
+        self.root: TreeNode | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        self.root = self._build(X, y, depth=0)
+        return self
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray):
+        n, d = X.shape
+        total_sum = y.sum()
+        total_sq = float(((y - y.mean()) ** 2).sum())
+        best = (None, None, 0.0)  # feature, threshold, gain
+        for feature in range(d):
+            order = np.argsort(X[:, feature], kind="stable")
+            xs = X[order, feature]
+            ys = y[order]
+            prefix = np.cumsum(ys)
+            prefix_sq = np.cumsum(ys * ys)
+            # Candidate splits only where the feature value changes.
+            change = np.nonzero(np.diff(xs) > 0)[0]
+            for cut in change:
+                left_n = cut + 1
+                right_n = n - left_n
+                if left_n < self.min_samples_leaf or right_n < self.min_samples_leaf:
+                    continue
+                left_sum = prefix[cut]
+                right_sum = total_sum - left_sum
+                left_sse = prefix_sq[cut] - left_sum ** 2 / left_n
+                right_sse = (prefix_sq[-1] - prefix_sq[cut]) - right_sum ** 2 / right_n
+                gain = total_sq - (left_sse + right_sse)
+                if gain > best[2] + self.min_gain:
+                    threshold = 0.5 * (xs[cut] + xs[cut + 1])
+                    best = (feature, threshold, gain)
+        return best
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> TreeNode:
+        node = TreeNode(value=float(y.mean()) if len(y) else 0.0)
+        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf:
+            return node
+        feature, threshold, gain = self._best_split(X, y)
+        if feature is None:
+            return node
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        out = np.empty(len(X), dtype=np.float64)
+        # Iterative traversal per row (trees are tiny: depth <= max_depth).
+        for i, row in enumerate(X):
+            node = self.root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+
+class GradientBoostedTrees:
+    """Least-squares gradient boosting with shrinkage."""
+
+    def __init__(self, n_estimators: int = 30, learning_rate: float = 0.3,
+                 max_depth: int = 3, min_samples_leaf: int = 3,
+                 subsample: float = 1.0, seed: int = 0):
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.seed = seed
+        self.base_prediction = 0.0
+        self.trees: list[RegressionTree] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostedTrees":
+        rng = np.random.default_rng(self.seed)
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        self.base_prediction = float(y.mean()) if len(y) else 0.0
+        current = np.full(len(y), self.base_prediction)
+        self.trees = []
+        for _ in range(self.n_estimators):
+            residual = y - current
+            if self.subsample < 1.0:
+                size = max(2 * self.min_samples_leaf,
+                           int(self.subsample * len(y)))
+                idx = rng.choice(len(y), size=size, replace=False)
+            else:
+                idx = np.arange(len(y))
+            tree = RegressionTree(self.max_depth, self.min_samples_leaf)
+            tree.fit(X[idx], residual[idx])
+            self.trees.append(tree)
+            current = current + self.learning_rate * tree.predict(X)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        out = np.full(len(X), self.base_prediction)
+        for tree in self.trees:
+            out += self.learning_rate * tree.predict(X)
+        return out

@@ -1,0 +1,53 @@
+"""LW-XGB: tree-ensemble cardinality regressor (Dutt et al., VLDB 2019).
+
+Uses the flat range encoding of LW-NN with the from-scratch gradient-boosted
+trees of :mod:`repro.ce.gbdt` (standing in for XGBoost, unavailable
+offline).  Trees cannot extrapolate beyond training targets, which produces
+the elevated Q-error the paper reports for this baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..workload.query import Query
+from .base import CEModel, TrainingContext, clip_card
+from .gbdt import GradientBoostedTrees
+from .targets import LogCardNormalizer
+
+
+@dataclass
+class LWXGBConfig:
+    n_estimators: int = 30
+    learning_rate: float = 0.3
+    max_depth: int = 3
+    seed: int = 0
+
+
+class LWXGB(CEModel):
+    name = "LW-XGB"
+    query_driven = True
+
+    def __init__(self, config: LWXGBConfig | None = None):
+        self.config = config or LWXGBConfig()
+
+    def fit(self, ctx: TrainingContext) -> None:
+        self._encoder = ctx.encoder
+        queries = ctx.workload.train
+        features = self._encoder.encode_flat_batch(queries)
+        cards = np.array([q.true_cardinality for q in queries], dtype=np.float64)
+        self._normalizer = LogCardNormalizer().fit(cards)
+        targets = self._normalizer.transform(cards)
+        self._model = GradientBoostedTrees(
+            n_estimators=self.config.n_estimators,
+            learning_rate=self.config.learning_rate,
+            max_depth=self.config.max_depth,
+            seed=self.config.seed + ctx.seed,
+        ).fit(features, targets)
+
+    def estimate(self, query: Query) -> float:
+        vec = self._encoder.encode_flat(query)[None, :]
+        pred = self._model.predict(vec)[0]
+        return clip_card(self._normalizer.inverse(np.array([pred]))[0])

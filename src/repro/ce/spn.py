@@ -1,0 +1,180 @@
+"""Sum-product networks for cardinality estimation (the DeepDB substrate).
+
+A classic SPN structure learner: columns are split into independent groups
+via pairwise correlation (product nodes), rows are split via 2-means
+clustering (sum nodes), and leaves are exact value histograms.  Probability
+of a conjunctive range query is evaluated recursively in closed form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.rng import rng_from_seed
+from .histograms import BinnedHistogram
+
+
+@dataclass
+class SPNConfig:
+    min_rows: int = 24
+    correlation_threshold: float = 0.1
+    max_depth: int = 12
+    kmeans_iterations: int = 8
+    max_leaf_bins: int = 14
+    seed: int = 0
+
+
+class LeafNode:
+    """Univariate leaf: bounded-resolution histogram over one column."""
+
+    def __init__(self, column: str, values: np.ndarray, max_bins: int = 14):
+        self.column = column
+        self.histogram = BinnedHistogram(values, max_bins=max_bins)
+
+    def probability(self, ranges: dict[str, tuple[int, int]]) -> float:
+        bounds = ranges.get(self.column)
+        if bounds is None:
+            return 1.0
+        return self.histogram.range_fraction(bounds[0], bounds[1])
+
+    def size(self) -> int:
+        return 1
+
+
+class ProductNode:
+    """Independent column groups: P = ∏ children."""
+
+    def __init__(self, children: list):
+        self.children = children
+
+    def probability(self, ranges: dict[str, tuple[int, int]]) -> float:
+        prob = 1.0
+        for child in self.children:
+            prob *= child.probability(ranges)
+            if prob == 0.0:
+                return 0.0
+        return prob
+
+    def size(self) -> int:
+        return 1 + sum(c.size() for c in self.children)
+
+
+class SumNode:
+    """Row-cluster mixture: P = Σ wᵢ·Pᵢ."""
+
+    def __init__(self, weights: list[float], children: list):
+        total = float(sum(weights))
+        self.weights = [w / total for w in weights]
+        self.children = children
+
+    def probability(self, ranges: dict[str, tuple[int, int]]) -> float:
+        return float(sum(w * c.probability(ranges)
+                         for w, c in zip(self.weights, self.children)))
+
+    def size(self) -> int:
+        return 1 + sum(c.size() for c in self.children)
+
+
+def _connected_components(adjacency: np.ndarray) -> list[list[int]]:
+    n = len(adjacency)
+    seen = [False] * n
+    components = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        stack = [start]
+        component = []
+        seen[start] = True
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            for other in range(n):
+                if adjacency[node, other] and not seen[other]:
+                    seen[other] = True
+                    stack.append(other)
+        components.append(sorted(component))
+    return components
+
+
+def _column_groups(matrix: np.ndarray, threshold: float) -> list[list[int]]:
+    """Group columns whose absolute Pearson correlation exceeds threshold."""
+    d = matrix.shape[1]
+    if d == 1:
+        return [[0]]
+    std = matrix.std(axis=0)
+    safe = np.where(std == 0, 1.0, std)
+    centered = (matrix - matrix.mean(axis=0)) / safe
+    corr = np.abs(centered.T @ centered) / max(1, len(matrix))
+    corr[std == 0, :] = 0.0
+    corr[:, std == 0] = 0.0
+    adjacency = corr > threshold
+    np.fill_diagonal(adjacency, False)
+    return _connected_components(adjacency)
+
+
+def _two_means(matrix: np.ndarray, rng: np.random.Generator,
+               iterations: int) -> np.ndarray:
+    """Cluster rows into two groups; returns a boolean assignment array."""
+    n = len(matrix)
+    std = matrix.std(axis=0)
+    safe = np.where(std == 0, 1.0, std)
+    z = (matrix - matrix.mean(axis=0)) / safe
+    centers = z[rng.choice(n, size=2, replace=False)]
+    assign = np.zeros(n, dtype=bool)
+    for _ in range(iterations):
+        d0 = ((z - centers[0]) ** 2).sum(axis=1)
+        d1 = ((z - centers[1]) ** 2).sum(axis=1)
+        new_assign = d1 < d0
+        if new_assign.all() or (~new_assign).all():
+            # Degenerate clustering: split at random.
+            new_assign = rng.random(n) < 0.5
+        if (new_assign == assign).all():
+            assign = new_assign
+            break
+        assign = new_assign
+        centers[0] = z[~assign].mean(axis=0)
+        centers[1] = z[assign].mean(axis=0)
+    return assign
+
+
+def build_spn(columns: dict[str, np.ndarray], config: SPNConfig | None = None,
+              _depth: int = 0, _rng: np.random.Generator | None = None):
+    """Learn an SPN over the given column sample."""
+    config = config or SPNConfig()
+    rng = _rng if _rng is not None else rng_from_seed(config.seed)
+    names = list(columns)
+    if not names:
+        raise ValueError("cannot build an SPN over zero columns")
+    n = len(columns[names[0]])
+
+    if len(names) == 1:
+        return LeafNode(names[0], columns[names[0]], config.max_leaf_bins)
+
+    if n < config.min_rows or _depth >= config.max_depth:
+        # Assume independence once data is too thin to split further.
+        return ProductNode([LeafNode(c, columns[c], config.max_leaf_bins) for c in names])
+
+    matrix = np.stack([columns[c] for c in names], axis=1).astype(np.float64)
+    groups = _column_groups(matrix, config.correlation_threshold)
+    if len(groups) > 1:
+        children = []
+        for group in groups:
+            sub = {names[i]: columns[names[i]] for i in group}
+            children.append(build_spn(sub, config, _depth + 1, rng))
+        return ProductNode(children)
+
+    assign = _two_means(matrix, rng, config.kmeans_iterations)
+    children = []
+    weights = []
+    for mask in (~assign, assign):
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        sub = {c: columns[c][mask] for c in names}
+        weights.append(count)
+        children.append(build_spn(sub, config, _depth + 1, rng))
+    if len(children) == 1:
+        return children[0]
+    return SumNode(weights, children)

@@ -1,0 +1,37 @@
+"""Target transformation shared by the query-driven regressors.
+
+All query-driven models regress the *normalized log cardinality*, the
+standard practice from the MSCN and lightweight-models papers: targets are
+``log(card + 1)`` min–max normalized over the training workload, and
+predictions are mapped back through the inverse transform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LogCardNormalizer:
+    def __init__(self):
+        self.log_min = 0.0
+        self.log_max = 1.0
+
+    def fit(self, cards: np.ndarray) -> "LogCardNormalizer":
+        logs = np.log(np.asarray(cards, dtype=np.float64) + 1.0)
+        if len(logs) == 0:
+            self.log_min, self.log_max = 0.0, 1.0
+            return self
+        self.log_min = float(logs.min())
+        self.log_max = float(logs.max())
+        if self.log_max <= self.log_min:
+            self.log_max = self.log_min + 1.0
+        return self
+
+    def transform(self, cards: np.ndarray) -> np.ndarray:
+        logs = np.log(np.asarray(cards, dtype=np.float64) + 1.0)
+        return (logs - self.log_min) / (self.log_max - self.log_min)
+
+    def inverse(self, normalized: np.ndarray) -> np.ndarray:
+        logs = np.asarray(normalized, dtype=np.float64) * (self.log_max - self.log_min)
+        logs = logs + self.log_min
+        return np.exp(np.clip(logs, 0.0, 60.0)) - 1.0

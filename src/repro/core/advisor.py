@@ -1,0 +1,149 @@
+"""AutoCE: the model advisor facade.
+
+Ties together the four stages of Fig. 3: feature engineering (Stage 2.1),
+DML-based graph-encoder learning (Stage 2), incremental learning with Mixup
+(Stage 3), and the KNN recommendation (Stage 4), plus the online adapting
+of Sec. V-E.
+
+Typical usage::
+
+    advisor = AutoCE()
+    advisor.fit(datasets, labels)                 # labels from the testbed
+    rec = advisor.recommend(new_dataset, accuracy_weight=0.9)
+    rec.model                                     # e.g. "DeepDB"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..db.schema import Dataset
+from ..testbed.scores import ScoreLabel
+from .dml import DMLConfig, DMLTrainer
+from .encoder import GINEncoder
+from .graph import DEFAULT_MAX_COLUMNS, FeatureGraph, build_feature_graph
+from .incremental import IncrementalConfig, incremental_learning
+from .online import DriftDetector, OnlineAdapter
+from .predictor import (KNNPredictor, Recommendation,
+                        RecommendationCandidateSet)
+
+
+@dataclass
+class AutoCEConfig:
+    """All hyper-parameters of the advisor in one place."""
+
+    max_columns: int = DEFAULT_MAX_COLUMNS
+    hidden_dim: int = 96
+    embedding_dim: int = 64
+    num_layers: int = 2
+    #: The paper's Table IV optimum is k = 2 on a 1 000-dataset corpus; on
+    #: this reproduction's smaller default corpus a slightly larger
+    #: neighborhood averages out label noise (see the Table IV bench).
+    knn_k: int = 5
+    dml: DMLConfig = field(default_factory=DMLConfig)
+    incremental: IncrementalConfig = field(default_factory=IncrementalConfig)
+    use_incremental: bool = True
+    #: False = the "No Augmentation" ablation of Fig. 11(b).
+    incremental_augment: bool = True
+    seed: int = 0
+
+
+class AutoCE:
+    """The learned CE-model advisor (offline training, online prediction)."""
+
+    def __init__(self, config: AutoCEConfig | None = None):
+        self.config = config or AutoCEConfig()
+        self.encoder: GINEncoder | None = None
+        self.trainer: DMLTrainer | None = None
+        self.rcs: RecommendationCandidateSet | None = None
+        self.predictor = KNNPredictor(k=self.config.knn_k)
+        self.detector = DriftDetector()
+        self._graphs: list[FeatureGraph] = []
+        self._labels: list[ScoreLabel] = []
+        self.loss_history: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Stage 2.1: feature engineering
+    # ------------------------------------------------------------------
+    def featurize(self, dataset: Dataset) -> FeatureGraph:
+        return build_feature_graph(dataset, max_columns=self.config.max_columns)
+
+    # ------------------------------------------------------------------
+    # Stages 2–3: training
+    # ------------------------------------------------------------------
+    def fit(self, datasets: list[Dataset] | list[FeatureGraph],
+            labels: list[ScoreLabel]) -> "AutoCE":
+        """Train the advisor from labeled datasets (or prebuilt graphs)."""
+        if len(datasets) != len(labels):
+            raise ValueError("datasets and labels must align")
+        graphs = [d if isinstance(d, FeatureGraph) else self.featurize(d)
+                  for d in datasets]
+        return self.fit_graphs(graphs, labels)
+
+    def fit_graphs(self, graphs: list[FeatureGraph],
+                   labels: list[ScoreLabel]) -> "AutoCE":
+        config = self.config
+        self._graphs = list(graphs)
+        self._labels = list(labels)
+        self.encoder = GINEncoder(
+            vertex_dim=graphs[0].vertex_dim,
+            hidden_dim=config.hidden_dim,
+            embedding_dim=config.embedding_dim,
+            num_layers=config.num_layers,
+            seed=config.seed,
+        )
+        self.trainer = DMLTrainer(self.encoder, config.dml)
+        self.loss_history = self.trainer.train(self._graphs, self._labels)
+        if config.use_incremental and len(graphs) >= 2 * config.incremental.folds:
+            incremental_learning(self.trainer, self._graphs, self._labels,
+                                 config.incremental,
+                                 augment=config.incremental_augment)
+        self._rebuild_rcs()
+        return self
+
+    def _rebuild_rcs(self) -> None:
+        embeddings = self.encoder.embed(self._graphs)
+        self.rcs = RecommendationCandidateSet(embeddings, list(self._labels))
+
+    # ------------------------------------------------------------------
+    # Stage 4: recommendation
+    # ------------------------------------------------------------------
+    def embed(self, dataset: Dataset | FeatureGraph) -> np.ndarray:
+        self._require_fitted()
+        graph = dataset if isinstance(dataset, FeatureGraph) else self.featurize(dataset)
+        return self.encoder.embed_one(graph)
+
+    def recommend(self, dataset: Dataset | FeatureGraph,
+                  accuracy_weight: float = 1.0,
+                  k: int | None = None) -> Recommendation:
+        """Select the best CE model for a dataset under the given weights.
+
+        ``accuracy_weight`` is w_a of Eq. 2 (w_e = 1 − w_a): 1.0 asks for
+        pure accuracy, 0.0 for pure inference efficiency.
+        """
+        self._require_fitted()
+        embedding = self.embed(dataset)
+        return self.predictor.recommend(embedding, self.rcs, accuracy_weight, k=k)
+
+    # ------------------------------------------------------------------
+    # Online adapting (Sec. V-E)
+    # ------------------------------------------------------------------
+    def is_drifted(self, dataset: Dataset | FeatureGraph) -> bool:
+        """True when the dataset falls outside the trained distribution."""
+        self._require_fitted()
+        return self.detector.is_drifted(self.embed(dataset), self.rcs)
+
+    def adapt_online(self, dataset: Dataset | FeatureGraph,
+                     label: ScoreLabel, update_epochs: int = 5) -> None:
+        """Incorporate a freshly labeled drifted dataset (online learning)."""
+        self._require_fitted()
+        graph = dataset if isinstance(dataset, FeatureGraph) else self.featurize(dataset)
+        adapter = OnlineAdapter(self.trainer, self.detector, update_epochs)
+        adapter.adapt(graph, label, self._graphs, self._labels, self.rcs)
+
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if self.encoder is None or self.rcs is None:
+            raise RuntimeError("AutoCE is not fitted; call fit() first")

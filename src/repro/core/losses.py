@@ -1,0 +1,116 @@
+"""Deep-metric-learning losses (Sec. V-C).
+
+Implements the paper's *weighted contrastive loss* (Eq. 9)
+
+    L_c = 1/m Σ_i [ log Σ_{k∈P_i} e^{U_ik + Sim_ik}
+                  + log Σ_{k∈N_i} e^{γ − U_ik − Sim_ik} ]
+
+together with the *basic contrastive loss* (Eq. 10) used as the ablation
+baseline in Fig. 7, the performance similarity (Eq. 6), and the
+positive/negative partition rule (Eq. 7).  The pair-weighting analysis
+(Eqs. 11–12) follows from differentiating Eq. 9 and is verified in the test
+suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+
+_NEG_INF = -1e9
+
+
+def cosine_similarity_matrix(labels: np.ndarray) -> np.ndarray:
+    """Eq. 6: pairwise cosine similarity of label (score) vectors."""
+    labels = np.asarray(labels, dtype=np.float64)
+    norms = np.linalg.norm(labels, axis=1, keepdims=True)
+    normalized = labels / np.maximum(norms, 1e-12)
+    sims = normalized @ normalized.T
+    return np.clip(sims, -1.0, 1.0)
+
+
+def positive_negative_masks(similarities: np.ndarray, tau: float):
+    """Eq. 7: split pairs into positive (Sim ≥ τ) and negative sets.
+
+    The diagonal (self pairs) is excluded from both sets.
+    """
+    m = len(similarities)
+    eye = np.eye(m, dtype=bool)
+    positive = (similarities >= tau) & ~eye
+    negative = (similarities < tau) & ~eye
+    return positive, negative
+
+
+def pairwise_distances(embeddings: nn.Tensor) -> nn.Tensor:
+    """Eq. 8: pairwise Euclidean distances U of a batch of embeddings."""
+    squared = (embeddings * embeddings).sum(axis=1, keepdims=True)
+    gram = embeddings @ embeddings.T
+    dist_sq = squared + squared.T - gram * 2.0
+    # Numerical noise can push diagonal entries slightly negative.
+    dist_sq = dist_sq.relu()
+    return (dist_sq + 1e-12).sqrt()
+
+
+def weighted_contrastive_loss(embeddings: nn.Tensor, similarities: np.ndarray,
+                              tau: float = 0.95, gamma: float = 2.0) -> nn.Tensor:
+    """Eq. 9: the paper's weighted contrastive loss over one batch."""
+    positive, negative = positive_negative_masks(similarities, tau)
+    distances = pairwise_distances(embeddings)
+    sims = nn.Tensor(similarities)
+
+    pos_arg = nn.where(positive, distances + sims, nn.Tensor(np.full_like(similarities, _NEG_INF)))
+    neg_arg = nn.where(negative, (distances + sims) * -1.0 + gamma,
+                       nn.Tensor(np.full_like(similarities, _NEG_INF)))
+
+    pos_term = pos_arg.logsumexp(axis=1)
+    neg_term = neg_arg.logsumexp(axis=1)
+
+    has_pos = positive.any(axis=1).astype(np.float64)
+    has_neg = negative.any(axis=1).astype(np.float64)
+    total = pos_term * nn.Tensor(has_pos) + neg_term * nn.Tensor(has_neg)
+    return total.mean()
+
+
+def basic_contrastive_loss(embeddings: nn.Tensor, similarities: np.ndarray,
+                           tau: float = 0.95, gamma: float = 2.0) -> nn.Tensor:
+    """Eq. 10: the unweighted contrastive baseline (Hadsell et al. style).
+
+    Positive pairs are pulled together, negative pairs pushed apart up to
+    the margin γ (the hinge keeps the loss bounded below, matching [5]).
+    """
+    positive, negative = positive_negative_masks(similarities, tau)
+    distances = pairwise_distances(embeddings)
+    m = len(similarities)
+
+    pos_sum = (distances * nn.Tensor(positive.astype(np.float64))).sum(axis=1)
+    hinge = ((distances * -1.0) + gamma).relu()
+    neg_sum = (hinge * nn.Tensor(negative.astype(np.float64))).sum(axis=1)
+
+    pos_count = np.maximum(positive.sum(axis=1), 1.0)
+    neg_count = np.maximum(negative.sum(axis=1), 1.0)
+    total = pos_sum / nn.Tensor(pos_count) + neg_sum / nn.Tensor(neg_count)
+    return total.mean()
+
+
+def pair_weights(distances: np.ndarray, similarities: np.ndarray,
+                 tau: float = 0.95) -> tuple[np.ndarray, np.ndarray]:
+    """Closed-form pair weights (Eqs. 11–12), for analysis and tests.
+
+    w⁺_ij = 1 / Σ_{k∈P_i} e^{(U_ik − U_ij) + (Sim_ik − Sim_ij)}
+    w⁻_ij = 1 / Σ_{k∈N_i} e^{(U_ij − U_ik) + (Sim_ij − Sim_ik)}
+    """
+    positive, negative = positive_negative_masks(similarities, tau)
+    arg = distances + similarities
+    m = len(similarities)
+    w_pos = np.zeros((m, m))
+    w_neg = np.zeros((m, m))
+    for i in range(m):
+        for j in range(m):
+            if positive[i, j]:
+                denom = np.exp(arg[i, positive[i]] - arg[i, j]).sum()
+                w_pos[i, j] = 1.0 / denom
+            elif negative[i, j]:
+                denom = np.exp(arg[i, j] - arg[i, negative[i]]).sum()
+                w_neg[i, j] = 1.0 / denom
+    return w_pos, w_neg

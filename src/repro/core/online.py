@@ -1,0 +1,67 @@
+"""Online adapting for unexpected data distributions (Sec. V-E).
+
+Detects datasets whose feature-graph embedding is far from every member of
+the RCS (data drift), obtains a ground-truth label for them via online
+learning (the caller supplies a labeler — typically the CE testbed), adds
+the new sample to the RCS, and updates the encoder with a few DML steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..testbed.scores import ScoreLabel
+from .dml import DMLTrainer
+from .graph import FeatureGraph
+from .predictor import RecommendationCandidateSet
+
+
+@dataclass
+class DriftDetector:
+    """Thresholded nearest-RCS-distance drift test.
+
+    The threshold is the 90th percentile of the RCS members' own
+    nearest-neighbor distances, exactly as described in Sec. V-E.
+    """
+
+    percentile: float = 90.0
+
+    def threshold(self, rcs: RecommendationCandidateSet) -> float:
+        distances = rcs.nearest_neighbor_distances()
+        if len(distances) == 0:
+            return np.inf
+        return float(np.percentile(distances, self.percentile))
+
+    def distance_to_rcs(self, embedding: np.ndarray,
+                        rcs: RecommendationCandidateSet) -> float:
+        if len(rcs) == 0:
+            return np.inf
+        distances = np.sqrt(((rcs.embeddings - embedding) ** 2).sum(axis=1))
+        return float(distances.min())
+
+    def is_drifted(self, embedding: np.ndarray,
+                   rcs: RecommendationCandidateSet) -> bool:
+        return self.distance_to_rcs(embedding, rcs) > self.threshold(rcs)
+
+
+class OnlineAdapter:
+    """Applies the three-step online adaptation of Sec. V-E."""
+
+    def __init__(self, trainer: DMLTrainer, detector: DriftDetector | None = None,
+                 update_epochs: int = 5):
+        self.trainer = trainer
+        self.detector = detector or DriftDetector()
+        self.update_epochs = update_epochs
+
+    def adapt(self, graph: FeatureGraph, label: ScoreLabel,
+              graphs: list[FeatureGraph], labels: list[ScoreLabel],
+              rcs: RecommendationCandidateSet) -> None:
+        """Add a freshly labeled drifted dataset and update encoder + RCS."""
+        graphs.append(graph)
+        labels.append(label)
+        self.trainer.train(graphs, labels, epochs=self.update_epochs)
+        embeddings = self.trainer.encoder.embed(graphs)
+        rcs.labels = list(labels)
+        rcs.replace_embeddings(embeddings)

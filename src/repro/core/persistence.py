@@ -1,0 +1,158 @@
+"""Saving and loading a trained advisor (offline training → online serving).
+
+The paper's deployment story (Fig. 2) trains AutoCE offline and serves
+recommendations online; a cloud vendor trains once and ships the advisor to
+every tenant-facing node.  This module persists everything a serving node
+needs into one ``.npz`` file:
+
+* the advisor configuration (JSON),
+* the GIN encoder weights (in ``Module.parameters()`` order),
+* the training feature graphs (needed only for later online adapting),
+* the labels, and the RCS embeddings.
+
+Labels round-trip losslessly: :class:`DatasetLabel` keeps its raw testbed
+measurements (so D-error and percentile re-normalization still work after a
+reload), while synthetic :class:`ScoreLabel` instances (from Mixup or from
+:meth:`~repro.testbed.scores.DatasetLabel.with_accuracy_metric`) keep their
+normalized scores.
+
+Typical usage::
+
+    save_advisor(advisor, "advisor.npz")
+    advisor = load_advisor("advisor.npz")
+    advisor.recommend(new_dataset, accuracy_weight=0.9)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+import numpy as np
+
+from ..testbed.scores import DatasetLabel, ScoreLabel
+from .advisor import AutoCE, AutoCEConfig
+from .dml import DMLConfig, DMLTrainer
+from .encoder import GINEncoder
+from .graph import FeatureGraph
+from .incremental import IncrementalConfig
+from .predictor import RecommendationCandidateSet
+
+#: Bump on any change to the on-disk layout.
+FORMAT_VERSION = 1
+
+#: DatasetLabel array fields persisted when present (None-able ones last).
+_RAW_LABEL_FIELDS = ("qerror_means", "latency_means", "qerror_medians",
+                     "fit_times", "qerror_p95", "qerror_p99")
+
+
+def _config_to_dict(config: AutoCEConfig) -> dict:
+    return asdict(config)
+
+
+def _config_from_dict(payload: dict) -> AutoCEConfig:
+    payload = dict(payload)
+    dml = dict(payload["dml"])
+    # JSON has no tuples; restore the weight grid's declared type.
+    dml["weights"] = tuple(dml["weights"])
+    payload["dml"] = DMLConfig(**dml)
+    payload["incremental"] = IncrementalConfig(**payload["incremental"])
+    return AutoCEConfig(**payload)
+
+
+def _label_to_dict(label: ScoreLabel) -> dict:
+    """JSON-serializable label payload (arrays as lists)."""
+    payload: dict = {"model_names": list(label.model_names)}
+    if isinstance(label, DatasetLabel):
+        payload["kind"] = "dataset"
+        for name in _RAW_LABEL_FIELDS:
+            value = getattr(label, name, None)
+            payload[name] = None if value is None else np.asarray(value).tolist()
+    else:
+        payload["kind"] = "score"
+        payload["sa"] = label.sa.tolist()
+        payload["se"] = label.se.tolist()
+    return payload
+
+
+def _label_from_dict(payload: dict) -> ScoreLabel:
+    names = tuple(payload["model_names"])
+    if payload["kind"] == "dataset":
+        kwargs = {name: payload.get(name) for name in _RAW_LABEL_FIELDS}
+        return DatasetLabel(model_names=names, **kwargs)
+    return ScoreLabel(model_names=names, sa=np.array(payload["sa"]),
+                      se=np.array(payload["se"]))
+
+
+def save_advisor(advisor: AutoCE, path: str) -> None:
+    """Persist a fitted advisor to a single compressed ``.npz`` file."""
+    if advisor.encoder is None or advisor.rcs is None:
+        raise ValueError("cannot save an unfitted advisor; call fit() first")
+
+    metadata = {
+        "format_version": FORMAT_VERSION,
+        "config": _config_to_dict(advisor.config),
+        "vertex_dim": advisor.encoder.vertex_dim,
+        "labels": [_label_to_dict(label) for label in advisor._labels],
+        "graph_names": [g.name for g in advisor._graphs],
+        "num_graphs": len(advisor._graphs),
+        "num_params": len(advisor.encoder.parameters()),
+    }
+    arrays: dict[str, np.ndarray] = {
+        "metadata": np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8),
+        "rcs_embeddings": advisor.rcs.embeddings,
+    }
+    for i, param in enumerate(advisor.encoder.parameters()):
+        arrays[f"param_{i}"] = param.numpy()
+    for i, graph in enumerate(advisor._graphs):
+        arrays[f"graph_{i}_vertices"] = graph.vertices
+        arrays[f"graph_{i}_edges"] = graph.edges
+    np.savez_compressed(path, **arrays)
+
+
+def load_advisor(path: str) -> AutoCE:
+    """Reload an advisor saved by :func:`save_advisor`, ready to recommend."""
+    with np.load(path) as data:
+        metadata = json.loads(bytes(data["metadata"]).decode("utf-8"))
+        version = metadata.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported advisor format version {version!r} "
+                f"(this build reads version {FORMAT_VERSION})")
+
+        config = _config_from_dict(metadata["config"])
+        advisor = AutoCE(config)
+        advisor.encoder = GINEncoder(
+            vertex_dim=metadata["vertex_dim"],
+            hidden_dim=config.hidden_dim,
+            embedding_dim=config.embedding_dim,
+            num_layers=config.num_layers,
+            seed=config.seed,
+        )
+        params = advisor.encoder.parameters()
+        if len(params) != metadata["num_params"]:
+            raise ValueError(
+                "saved parameter count does not match the encoder "
+                f"architecture ({metadata['num_params']} != {len(params)})")
+        for i, param in enumerate(params):
+            saved = data[f"param_{i}"]
+            if saved.shape != param.numpy().shape:
+                raise ValueError(
+                    f"parameter {i} shape mismatch: {saved.shape} vs "
+                    f"{param.numpy().shape}")
+            param.data[...] = saved
+        advisor.encoder.eval()
+
+        advisor._labels = [_label_from_dict(p) for p in metadata["labels"]]
+        advisor._graphs = [
+            FeatureGraph(name=name,
+                         vertices=data[f"graph_{i}_vertices"],
+                         edges=data[f"graph_{i}_edges"])
+            for i, name in enumerate(metadata["graph_names"])
+        ]
+        advisor.rcs = RecommendationCandidateSet(
+            data["rcs_embeddings"], list(advisor._labels))
+
+    advisor.trainer = DMLTrainer(advisor.encoder, config.dml)
+    return advisor

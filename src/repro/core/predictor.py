@@ -1,0 +1,106 @@
+"""KNN-based model recommendation (Sec. V-D, Eq. 13).
+
+The recommendation candidate set (RCS, Def. 5) holds the embeddings of all
+labeled datasets.  For a target dataset AutoCE embeds its feature graph,
+finds the k nearest labeled embeddings, averages their score vectors under
+the user's metric weights and recommends the top-scoring model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..testbed.scores import ScoreLabel
+
+
+@dataclass
+class Recommendation:
+    """Outcome of one AutoCE recommendation."""
+
+    model: str
+    score_vector: np.ndarray
+    model_names: tuple[str, ...]
+    neighbor_indices: np.ndarray
+    neighbor_distances: np.ndarray
+
+    def ranking(self) -> list[tuple[str, float]]:
+        order = np.argsort(-self.score_vector)
+        return [(self.model_names[i], float(self.score_vector[i])) for i in order]
+
+
+class RecommendationCandidateSet:
+    """Def. 5: labeled embeddings (X, Y) searched by the KNN predictor."""
+
+    def __init__(self, embeddings: np.ndarray | None = None,
+                 labels: list[ScoreLabel] | None = None):
+        self.embeddings = (np.zeros((0, 0)) if embeddings is None
+                           else np.asarray(embeddings, dtype=np.float64))
+        self.labels: list[ScoreLabel] = list(labels or [])
+        if len(self.embeddings) != len(self.labels):
+            raise ValueError("embeddings and labels must align")
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def model_names(self) -> tuple[str, ...]:
+        if not self.labels:
+            raise ValueError("empty RCS")
+        return self.labels[0].model_names
+
+    def add(self, embedding: np.ndarray, label: ScoreLabel) -> None:
+        embedding = np.asarray(embedding, dtype=np.float64)[None, :]
+        if len(self.labels) == 0:
+            self.embeddings = embedding
+        else:
+            self.embeddings = np.vstack([self.embeddings, embedding])
+        self.labels.append(label)
+
+    def replace_embeddings(self, embeddings: np.ndarray) -> None:
+        """Refresh stored embeddings after the encoder is retrained."""
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if len(embeddings) != len(self.labels):
+            raise ValueError("embedding count must match labels")
+        self.embeddings = embeddings
+
+    def nearest_neighbor_distances(self) -> np.ndarray:
+        """Distance of each member to its nearest other member."""
+        if len(self) < 2:
+            return np.zeros(len(self))
+        diff = self.embeddings[:, None, :] - self.embeddings[None, :, :]
+        distances = np.sqrt((diff ** 2).sum(axis=2))
+        np.fill_diagonal(distances, np.inf)
+        return distances.min(axis=1)
+
+
+class KNNPredictor:
+    """Eq. 13: average the k nearest labels and pick the top ranker.
+
+    The paper finds k = 2 optimal (Table IV); that is the default.
+    """
+
+    def __init__(self, k: int = 2):
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+
+    def recommend(self, embedding: np.ndarray, rcs: RecommendationCandidateSet,
+                  accuracy_weight: float, k: int | None = None) -> Recommendation:
+        if len(rcs) == 0:
+            raise ValueError("cannot recommend from an empty RCS")
+        k = k if k is not None else self.k
+        k = min(k, len(rcs))
+        distances = np.sqrt(((rcs.embeddings - embedding) ** 2).sum(axis=1))
+        nearest = np.argsort(distances, kind="stable")[:k]
+        score = np.mean(
+            [rcs.labels[i].score_vector(accuracy_weight) for i in nearest], axis=0)
+        names = rcs.model_names
+        return Recommendation(
+            model=names[int(np.argmax(score))],
+            score_vector=score,
+            model_names=names,
+            neighbor_indices=nearest,
+            neighbor_distances=distances[nearest],
+        )

@@ -1,0 +1,88 @@
+"""Multi-table generation with PK–FK join correlation (Sec. IV-A.2 / F3).
+
+The paper generates ``n`` tables independently, designates main tables with
+primary keys, and correlates tables to a main table through PK–FK joins: a
+fraction ``p`` of the parent's PK values is drawn without replacement, and
+the child's FK column is populated by sampling (with replacement) from that
+subset.  The resulting join graph is an acyclic tree, which we construct by
+attaching each table to a random previously-placed table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..db.schema import Dataset, ForeignKey
+from ..db.table import PK_COLUMN, Table
+from ..utils.rng import rng_from_seed
+from .single_table import generate_table
+from .spec import DatasetSpec
+
+
+def _add_primary_key(table: Table) -> Table:
+    if table.has_pk:
+        return table
+    columns = {PK_COLUMN: np.arange(table.num_rows, dtype=np.int64)}
+    columns.update(table.columns)
+    return Table(table.name, columns)
+
+
+def _add_foreign_key(child: Table, parent: Table, correlation: float,
+                     fanout_skew: float,
+                     rng: np.random.Generator) -> tuple[Table, ForeignKey]:
+    """Process F3: populate an FK column referencing ``parent``'s PK.
+
+    ``fanout_skew`` tilts the sampling weights of the PK subset by the
+    parent's first data column, so that join fanouts correlate with
+    predicate columns — the cross-table dependence that makes multi-table
+    datasets hard for data-driven estimators.
+    """
+    portion = max(1, int(round(correlation * parent.num_rows)))
+    subset = rng.choice(parent.num_rows, size=portion, replace=False)
+    if fanout_skew > 0.0:
+        data_cols = parent.data_columns()
+        if data_cols:
+            base = parent[data_cols[0]][subset].astype(np.float64)
+        else:
+            base = rng.random(portion)
+        span = base.max() - base.min()
+        normalized = (base - base.min()) / span if span > 0 else np.zeros(portion)
+        weights = np.exp(3.0 * fanout_skew * normalized)
+        weights /= weights.sum()
+        fk_values = rng.choice(subset, size=child.num_rows, replace=True, p=weights)
+    else:
+        fk_values = rng.choice(subset, size=child.num_rows, replace=True)
+    fk_name = f"fk_{parent.name}"
+    columns = dict(child.columns)
+    columns[fk_name] = fk_values.astype(np.int64)
+    return Table(child.name, columns), ForeignKey(child.name, fk_name, parent.name)
+
+
+def generate_dataset(spec: DatasetSpec) -> Dataset:
+    """Generate a dataset (tables + acyclic FK tree) from its spec."""
+    rng = rng_from_seed(spec.seed)
+    tables = [generate_table(f"table{i}", table_spec, rng)
+              for i, table_spec in enumerate(spec.tables)]
+
+    if len(tables) == 1:
+        return Dataset(spec.name, tables, [])
+
+    # Attach each table (in random order) to a random already-placed table,
+    # yielding a uniform random tree over the schema.
+    order = rng.permutation(len(tables))
+    placed = [int(order[0])]
+    foreign_keys: list[ForeignKey] = []
+    for raw in order[1:]:
+        child_index = int(raw)
+        parent_index = int(placed[int(rng.integers(0, len(placed)))])
+        parent = _add_primary_key(tables[parent_index])
+        tables[parent_index] = parent
+        correlation = float(rng.uniform(spec.join_correlation_min,
+                                        spec.join_correlation_max))
+        child, fk = _add_foreign_key(tables[child_index], parent, correlation,
+                                     spec.fanout_skew, rng)
+        tables[child_index] = child
+        foreign_keys.append(fk)
+        placed.append(child_index)
+
+    return Dataset(spec.name, tables, foreign_keys)

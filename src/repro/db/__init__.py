@@ -1,0 +1,17 @@
+"""Relational substrate: columnar tables, PK–FK schemas, exact join counting.
+
+Stands in for the PostgreSQL instance of the paper: it provides ground-truth
+cardinalities (via exact acyclic-join counting) and the join samples that
+data-driven CE models train on.
+"""
+
+from .table import Table, PK_COLUMN
+from .schema import Dataset, ForeignKey
+from .counting import count_join, join_size, selectivity
+from .sampling import materialize_join, JoinSampleCache
+
+__all__ = [
+    "Table", "PK_COLUMN", "Dataset", "ForeignKey",
+    "count_join", "join_size", "selectivity",
+    "materialize_join", "JoinSampleCache",
+]

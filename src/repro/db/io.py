@@ -1,0 +1,65 @@
+"""Dataset serialization: one ``.npz`` file per dataset.
+
+Columns are stored as raw int64 arrays under ``{table}__{column}`` keys and
+the schema (table order, column order, foreign keys) as a JSON metadata
+blob, so a dataset round-trips exactly — including the PK–FK join graph.
+Used by the command-line interface to pass datasets between ``generate``,
+``label`` and ``recommend`` invocations.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from .schema import Dataset, ForeignKey
+from .table import Table
+
+#: Bump on any change to the on-disk layout.
+FORMAT_VERSION = 1
+
+_SEPARATOR = "__"
+
+
+def save_dataset(dataset: Dataset, path: str) -> None:
+    """Write a dataset to ``path`` as a compressed ``.npz`` archive."""
+    metadata = {
+        "format_version": FORMAT_VERSION,
+        "name": dataset.name,
+        "tables": {t.name: t.column_names for t in dataset.tables.values()},
+        "foreign_keys": [
+            {"child": fk.child, "fk_column": fk.fk_column, "parent": fk.parent}
+            for fk in dataset.foreign_keys
+        ],
+    }
+    arrays: dict[str, np.ndarray] = {
+        "metadata": np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8),
+    }
+    for table in dataset.tables.values():
+        if _SEPARATOR in table.name:
+            raise ValueError(
+                f"table name {table.name!r} may not contain {_SEPARATOR!r}")
+        for column, values in table.columns.items():
+            arrays[f"{table.name}{_SEPARATOR}{column}"] = values
+    np.savez_compressed(path, **arrays)
+
+
+def load_dataset(path: str) -> Dataset:
+    """Reload a dataset saved by :func:`save_dataset`."""
+    with np.load(path) as data:
+        metadata = json.loads(bytes(data["metadata"]).decode("utf-8"))
+        version = metadata.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format version {version!r} "
+                f"(this build reads version {FORMAT_VERSION})")
+        tables = []
+        for name, columns in metadata["tables"].items():
+            tables.append(Table(name, {
+                column: data[f"{name}{_SEPARATOR}{column}"]
+                for column in columns
+            }))
+        foreign_keys = [ForeignKey(**fk) for fk in metadata["foreign_keys"]]
+    return Dataset(metadata["name"], tables, foreign_keys)

@@ -1,0 +1,14 @@
+"""The PostgreSQL substitute: cost-based optimizer + columnar executor."""
+
+from .plans import ScanNode, JoinNode, PlanNode, plan_joins
+from .cost import CostModel
+from .optimizer import Optimizer, PlannedQuery
+from .execution import Executor, ExecutionResult
+from .e2e import TrueCardEstimator, E2EResult, run_e2e
+
+__all__ = [
+    "ScanNode", "JoinNode", "PlanNode", "plan_joins",
+    "CostModel", "Optimizer", "PlannedQuery",
+    "Executor", "ExecutionResult",
+    "TrueCardEstimator", "E2EResult", "run_e2e",
+]

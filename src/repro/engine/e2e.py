@@ -1,0 +1,92 @@
+"""End-to-end latency harness (Sec. VII-D, Table V).
+
+For every query: (1) the optimizer asks the CE model under test for the
+cardinality of each connected sub-plan, (2) the cheapest plan is built from
+those estimates, (3) the plan is executed for real.  Reported per workload:
+total execution wall-clock ("running time") and total estimator wall-clock
+("inference latency"), matching Table V's two components.
+
+``TrueCardEstimator`` injects exact counts — the paper's "TrueCard" row,
+the upper bound on what better cardinalities can buy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..ce.base import CEModel
+from ..db.counting import count_join
+from ..db.schema import Dataset
+from ..workload.query import Query
+from .execution import Executor
+from .optimizer import Optimizer
+
+
+class TrueCardEstimator(CEModel):
+    """Oracle estimator: exact cardinalities via the counting substrate."""
+
+    name = "TrueCard"
+
+    def __init__(self, dataset: Dataset):
+        self._dataset = dataset
+
+    def fit(self, ctx) -> None:
+        pass  # Nothing to learn.
+
+    def estimate(self, query: Query) -> float:
+        return float(count_join(self._dataset, query.tables,
+                                query.predicate_tuples()))
+
+
+@dataclass
+class E2EResult:
+    """Aggregate outcome of one (dataset, estimator) workload run."""
+
+    estimator: str
+    execution_time: float
+    inference_time: float
+    queries: int
+    result_rows: int
+
+    @property
+    def total_time(self) -> float:
+        return self.execution_time + self.inference_time
+
+
+class _TimedEstimator:
+    """Wraps an estimator, accumulating wall-clock spent estimating."""
+
+    def __init__(self, model: CEModel):
+        self.model = model
+        self.elapsed = 0.0
+
+    def __call__(self, query: Query) -> float:
+        start = time.perf_counter()
+        value = self.model.estimate(query)
+        self.elapsed += time.perf_counter() - start
+        return value
+
+
+def run_e2e(dataset: Dataset, queries: list[Query], model: CEModel,
+            repeats: int = 1) -> E2EResult:
+    """Plan and execute a workload with cardinalities injected by ``model``."""
+    optimizer = Optimizer(dataset)
+    executor = Executor(dataset)
+    timed = _TimedEstimator(model)
+    execution_time = 0.0
+    rows = 0
+    for query in queries:
+        planned = optimizer.plan(query, timed)
+        for _ in range(repeats):
+            outcome = executor.execute(planned.plan)
+            execution_time += outcome.elapsed
+            rows += outcome.rows
+    inference = 0.0 if isinstance(model, TrueCardEstimator) else timed.elapsed
+    return E2EResult(
+        estimator=model.name,
+        execution_time=execution_time,
+        inference_time=inference,
+        queries=len(queries),
+        result_rows=rows,
+    )

@@ -1,0 +1,126 @@
+"""Selinger-style join-order optimization with injected cardinalities.
+
+Enumerates left-deep plans over the connected subsets of a query's join
+graph.  Every sub-plan's cardinality is obtained from the CE model under
+test (``estimate(sub_query)``), exactly mirroring how the paper injects
+estimated cardinalities of all sub-plan queries into PostgreSQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..db.schema import Dataset
+from ..workload.query import Query
+from .cost import CostModel
+from .plans import JoinNode, PlanNode, ScanNode
+
+
+@dataclass
+class PlannedQuery:
+    plan: PlanNode
+    cost: float
+    #: Number of estimator invocations the optimizer made.
+    estimator_calls: int
+
+
+class Optimizer:
+    """DP over connected table subsets, left-deep plans, two join methods."""
+
+    def __init__(self, dataset: Dataset, cost_model: CostModel | None = None):
+        self.dataset = dataset
+        self.cost_model = cost_model or CostModel()
+
+    def plan(self, query: Query,
+             estimate: Callable[[Query], float]) -> PlannedQuery:
+        """Build the cheapest plan for ``query`` under the given estimator."""
+        tables = tuple(sorted(query.tables))
+        calls = 0
+        card_cache: dict[tuple[str, ...], float] = {}
+
+        def cardinality(subset: tuple[str, ...]) -> float:
+            nonlocal calls
+            key = tuple(sorted(subset))
+            if key not in card_cache:
+                card_cache[key] = max(1.0, float(estimate(query.restrict(key))))
+                calls += 1
+            return card_cache[key]
+
+        # Base relations.
+        best: dict[frozenset, tuple[float, PlanNode]] = {}
+        scans: dict[str, ScanNode] = {}
+        for table in tables:
+            est_out = cardinality((table,))
+            method, cost = self.cost_model.best_scan(
+                self.dataset[table].num_rows, est_out)
+            preds = tuple(p for p in query.predicates if p.table == table)
+            scan = ScanNode(table, preds, method, est_out)
+            scans[table] = scan
+            best[frozenset([table])] = (cost, scan)
+
+        if len(tables) == 1:
+            cost, plan = best[frozenset(tables)]
+            return PlannedQuery(plan, cost, calls)
+
+        # Grow left-deep plans one adjacent table at a time.
+        for size in range(2, len(tables) + 1):
+            for subset, (left_cost, left_plan) in list(best.items()):
+                if len(subset) != size - 1:
+                    continue
+                for table in tables:
+                    if table in subset:
+                        continue
+                    fk = self._connecting_fk(subset, table)
+                    if fk is None:
+                        continue
+                    grown = subset | {table}
+                    out_rows = cardinality(tuple(grown))
+                    left_rows = cardinality(tuple(subset))
+                    right_scan = scans[table]
+                    right_rows = right_scan.estimated_rows
+
+                    candidates = [(
+                        "hash",
+                        left_cost + right_scan_cost(self.cost_model, self.dataset,
+                                                    right_scan)
+                        + self.cost_model.hash_join(left_rows, right_rows, out_rows),
+                    )]
+                    if fk.parent == table:
+                        # Index-NL is available whenever the new table is the
+                        # PK side (lookup by key) — i.e. the FK column lives
+                        # in the already-built left side.
+                        candidates.append((
+                            "indexnl",
+                            left_cost + self.cost_model.index_nl_join(
+                                left_rows, out_rows),
+                        ))
+                    for method, cost in candidates:
+                        key = frozenset(grown)
+                        if key not in best or cost < best[key][0]:
+                            node = JoinNode(left_plan, right_scan, fk, method,
+                                            out_rows)
+                            best[key] = (cost, node)
+
+        key = frozenset(tables)
+        if key not in best:
+            raise ValueError(f"query tables {tables} are not joinable")
+        cost, plan = best[key]
+        return PlannedQuery(plan, cost, calls)
+
+    def _connecting_fk(self, subset: frozenset, table: str):
+        for fk in self.dataset.foreign_keys:
+            if fk.child == table and fk.parent in subset:
+                return fk
+            if fk.parent == table and fk.child in subset:
+                return fk
+        return None
+
+
+def right_scan_cost(cost_model: CostModel, dataset: Dataset,
+                    scan: ScanNode) -> float:
+    if scan.method == "seq":
+        return cost_model.seq_scan(dataset[scan.table].num_rows,
+                                   scan.estimated_rows)
+    return cost_model.index_scan(dataset[scan.table].num_rows,
+                                 scan.estimated_rows)

@@ -1,0 +1,16 @@
+"""Experiment drivers regenerating every table and figure of Sec. VII.
+
+Each module exposes ``run(suite=None, ...)`` returning a result object with
+a ``text`` rendering of the paper's table/figure plus structured data; the
+``benchmarks/`` directory wires each one into pytest-benchmark.
+"""
+
+from .common import ExperimentSuite, get_suite, format_table
+from .corpus import (CorpusConfig, LabeledEntry, build_corpus, label_one,
+                     label_datasets)
+
+__all__ = [
+    "ExperimentSuite", "get_suite", "format_table",
+    "CorpusConfig", "LabeledEntry", "build_corpus", "label_one",
+    "label_datasets",
+]

@@ -1,0 +1,80 @@
+"""Extensibility: dropping an eighth CE model (FLAT) into the testbed.
+
+Sec. IV-B1 of the paper: "to incorporate a new cardinality estimation
+baseline into AutoCE, we deploy the baseline to the cardinality estimation
+testbed, which conducts the dataset labeling and produces the corresponding
+score vectors."  This experiment does exactly that with FLAT (the FSPN
+estimator of [54]): label fresh datasets over the 7 stock candidates plus
+FLAT and report where the newcomer lands.
+
+Expected shape: FLAT wins on some (not all) datasets — it joins the
+no-free-lunch pattern of Fig. 1 rather than dominating — and its latency
+sits in the data-driven band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ce.registry import CANDIDATE_MODELS
+from ..datagen.multi_table import generate_dataset
+from ..datagen.spec import random_spec
+from ..testbed.runner import TestbedConfig, run_testbed
+from .common import ExperimentSuite, format_table, get_suite
+
+NUM_DATASETS = 10
+WEIGHTS = (1.0, 0.5)
+
+
+@dataclass
+class ExtFlatResult:
+    #: wins[w][model] over the labeled datasets.
+    wins: dict[float, dict[str, int]]
+    #: Mean normalized score of each model at w_a = 1.0.
+    mean_scores: dict[str, float]
+    model_names: tuple[str, ...]
+    text: str
+
+
+def run(suite: ExperimentSuite | None = None,
+        num_datasets: int = NUM_DATASETS) -> ExtFlatResult:
+    suite = suite or get_suite()
+    names = [n for n in CANDIDATE_MODELS if n != "FLAT"] + ["FLAT"]
+    config = TestbedConfig(seed=suite.seed)
+
+    labels = []
+    for i in range(num_datasets):
+        spec = random_spec(905_000 + i)
+        labels.append(run_testbed(generate_dataset(spec), config=config,
+                                  model_names=names))
+
+    wins: dict[float, dict[str, int]] = {}
+    for w in WEIGHTS:
+        counts = {name: 0 for name in names}
+        for label in labels:
+            counts[label.best_model(w)] += 1
+        wins[w] = counts
+    mean_scores = {
+        name: float(np.mean([label.score_vector(1.0)[label.index_of(name)]
+                             for label in labels]))
+        for name in names
+    }
+
+    rows = []
+    for name in names:
+        rows.append([name,
+                     wins[1.0][name], wins[0.5][name],
+                     mean_scores[name],
+                     float(np.mean([l.qerror_means[l.index_of(name)]
+                                    for l in labels])),
+                     float(np.mean([l.latency_means[l.index_of(name)]
+                                    for l in labels])) * 1000])
+    text = format_table(
+        ["model", "wins w_a=1.0", "wins w_a=0.5", "mean score (acc)",
+         "mean Q-error", "mean latency ms"],
+        rows,
+        title=f"Extensibility: FLAT as an 8th candidate over "
+              f"{num_datasets} datasets")
+    return ExtFlatResult(wins, mean_scores, tuple(names), text)

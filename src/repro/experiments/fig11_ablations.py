@@ -1,0 +1,79 @@
+"""Figure 11: ablations of the two core components.
+
+(a) Deep metric learning: AutoCE vs AutoCE(Without DML) — the same GIN
+    trained as a score-vector regressor — at w_a ∈ {0.9, 0.7, 0.5}.
+(b) Incremental learning: AutoCE vs No-Augmentation vs Without-IL while
+    varying the fraction of training data from 70 % to 100 % (w_a = 0.9).
+
+Expected shapes: DML strictly lowers D-error; incremental learning with
+Mixup dominates both ablations at every training-data fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.advisor import AutoCEConfig
+from .common import ExperimentSuite, format_table, get_suite
+
+DML_WEIGHTS = (0.9, 0.7, 0.5)
+FRACTIONS = (1.0, 0.9, 0.8, 0.7)
+IL_WEIGHT = 0.9
+
+
+@dataclass
+class Fig11Result:
+    dml: dict[str, dict[float, float]]
+    incremental: dict[str, dict[float, float]]
+    text: str
+
+
+def _mean_d_error(recommend, graphs, labels, w) -> float:
+    return float(np.mean([label.d_error(recommend(graph, w), w)
+                          for graph, label in zip(graphs, labels)]))
+
+
+def run(suite: ExperimentSuite | None = None) -> Fig11Result:
+    suite = suite or get_suite()
+    graphs, labels = suite.test_graphs_and_labels()
+
+    # --- (a) DML ablation -------------------------------------------------
+    autoce = suite.autoce()
+    without_dml = suite.baseline("Without-DML")
+    dml = {"AutoCE": {}, "Without DML": {}}
+    for w in DML_WEIGHTS:
+        dml["AutoCE"][w] = _mean_d_error(
+            lambda g, w_: autoce.recommend(g, w_).model, graphs, labels, w)
+        dml["Without DML"][w] = _mean_d_error(
+            without_dml.recommend, graphs, labels, w)
+
+    # --- (b) Incremental-learning ablation --------------------------------
+    variants = {
+        "AutoCE": AutoCEConfig(seed=suite.seed),
+        "No Augmentation": AutoCEConfig(seed=suite.seed,
+                                        incremental_augment=False),
+        "Without IL": AutoCEConfig(seed=suite.seed, use_incremental=False),
+    }
+    incremental = {name: {} for name in variants}
+    for fraction in FRACTIONS:
+        for name, config in variants.items():
+            advisor = suite.autoce_variant(
+                f"il_{name}_{fraction}", config, fraction=fraction)
+            incremental[name][fraction] = _mean_d_error(
+                lambda g, w_: advisor.recommend(g, w_).model,
+                graphs, labels, IL_WEIGHT)
+
+    rows_a = [[f"w_a = {w}", dml["AutoCE"][w], dml["Without DML"][w]]
+              for w in DML_WEIGHTS]
+    rows_b = [[f"{int(frac * 100)}%"] +
+              [incremental[name][frac] for name in variants]
+              for frac in FRACTIONS]
+    text = "\n\n".join([
+        format_table(["setting", "AutoCE", "Without DML"], rows_a,
+                     title="Figure 11(a): ablation of deep metric learning (mean D-error)"),
+        format_table(["training data"] + list(variants), rows_b,
+                     title="Figure 11(b): ablation of incremental learning (mean D-error)"),
+    ])
+    return Fig11Result(dml, incremental, text)

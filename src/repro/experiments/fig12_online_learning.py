@@ -1,0 +1,98 @@
+"""Figure 12: AutoCE vs online learning (Sampling, Learning-All).
+
+(a) Selection wall-clock vs number of target datasets — online methods
+    retrain every CE model per dataset, AutoCE only embeds + KNN-searches.
+(b) Mean Q-error of the selected models.
+(c) Mean D-error.
+
+Expected shapes: AutoCE is orders of magnitude faster; its Q-error matches
+Learning-All; Sampling fluctuates (high-variance samples) and is both slow
+and inaccurate.  Dataset counts are scaled down from the paper's
+10/50/200 (configurable) because online labeling is exactly the cost this
+figure demonstrates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.selection_baselines import (LearningAllSelector,
+                                        OnlineSelectorConfig,
+                                        SamplingSelector)
+from .common import ExperimentSuite, format_table, get_suite
+
+SIZES = (4, 8, 16)
+WEIGHT = 0.9
+
+
+@dataclass
+class Fig12Result:
+    #: seconds[method][n_datasets]
+    seconds: dict[str, dict[int, float]]
+    q_error: dict[str, float]
+    d_error: dict[str, float]
+    text: str
+
+
+def run(suite: ExperimentSuite | None = None,
+        sizes: tuple[int, ...] = SIZES) -> Fig12Result:
+    suite = suite or get_suite()
+    entries = suite.test_corpus()
+    graphs, labels = suite.test_graphs_and_labels()
+    autoce = suite.autoce()
+    sampling = SamplingSelector(OnlineSelectorConfig(seed=suite.seed))
+    learning_all = LearningAllSelector(OnlineSelectorConfig(seed=suite.seed))
+
+    max_n = min(max(sizes), len(entries))
+    datasets = [entries[i].dataset() for i in range(max_n)]
+
+    # Pre-measure per-dataset costs once, then report cumulative times.
+    per_dataset: dict[str, list[float]] = {"AutoCE": [], "Sampling": [],
+                                           "Learning-All": []}
+    selections: dict[str, list[str]] = {"AutoCE": [], "Sampling": [],
+                                        "Learning-All": []}
+    for i in range(max_n):
+        start = time.perf_counter()
+        selections["AutoCE"].append(autoce.recommend(graphs[i], WEIGHT).model)
+        per_dataset["AutoCE"].append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        selections["Sampling"].append(
+            sampling.recommend_dataset(datasets[i], WEIGHT))
+        per_dataset["Sampling"].append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        selections["Learning-All"].append(
+            learning_all.recommend_dataset(datasets[i], WEIGHT))
+        per_dataset["Learning-All"].append(time.perf_counter() - start)
+
+    seconds = {m: {} for m in per_dataset}
+    for method, costs in per_dataset.items():
+        for n in sizes:
+            bounded = min(n, max_n)
+            mean_cost = float(np.mean(costs))
+            seconds[method][n] = float(np.sum(costs[:bounded])
+                                       + mean_cost * (n - bounded))
+
+    q_error = {}
+    d_error = {}
+    for method, models in selections.items():
+        qs = [labels[i].qerror_means[labels[i].index_of(m)]
+              for i, m in enumerate(models)]
+        ds = [labels[i].d_error(m, WEIGHT) for i, m in enumerate(models)]
+        q_error[method] = float(np.mean(qs))
+        d_error[method] = float(np.mean(ds))
+
+    rows = []
+    for method in per_dataset:
+        rows.append([method]
+                    + [seconds[method][n] for n in sizes]
+                    + [q_error[method], d_error[method]])
+    text = format_table(
+        ["method"] + [f"time(s) n={n}" for n in sizes]
+        + ["mean Q-error", "mean D-error"],
+        rows, title="Figure 12: AutoCE vs online learning methods")
+    return Fig12Result(seconds, q_error, d_error, text)

@@ -1,0 +1,76 @@
+"""Table II: recommendation accuracy of the five advisors.
+
+Accuracy = fraction of datasets whose selected model has D-error ≤ ε, for
+ε ∈ {0.1, 0.15, 0.2} and w_a ∈ {1.0, 0.9, 0.7}, over the synthetic test
+corpus, IMDB-20 and STATS-20.  Expected shape: AutoCE highest everywhere,
+Rule lowest, MLP between Knn and AutoCE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.selection_baselines import OnlineSelectorConfig, SamplingSelector
+from .common import ExperimentSuite, format_table, get_suite
+
+EPSILONS = (0.1, 0.15, 0.2)
+WEIGHTS = (1.0, 0.9, 0.7)
+ADVISORS = ("MLP", "Rule", "Knn", "Sampling", "AutoCE")
+
+
+@dataclass
+class Table2Result:
+    #: accuracy[suite][w_a][advisor][epsilon]
+    accuracy: dict[str, dict[float, dict[str, dict[float, float]]]]
+    text: str
+
+
+def run(suite: ExperimentSuite | None = None,
+        max_sampling_datasets: int = 8) -> Table2Result:
+    suite = suite or get_suite()
+    autoce = suite.autoce()
+    mlp = suite.baseline("MLP")
+    rule = suite.baseline("Rule")
+    knn = suite.baseline("Knn")
+    sampling = SamplingSelector(OnlineSelectorConfig(seed=suite.seed))
+
+    suites: dict[str, tuple] = {}
+    graphs, labels = suite.test_graphs_and_labels()
+    entries = suite.test_corpus()
+    suites[f"Synthetic({len(graphs)})"] = (
+        [e.dataset for e in entries], graphs, labels)
+    for name, loader in (("IMDB-20", suite.imdb20), ("STATS-20", suite.stats20)):
+        datasets, s_graphs, s_labels = loader()
+        suites[name] = ([lambda d=d: d for d in datasets], s_graphs, s_labels)
+
+    accuracy: dict = {}
+    for suite_name, (dataset_fns, s_graphs, s_labels) in suites.items():
+        accuracy[suite_name] = {}
+        for w in WEIGHTS:
+            errors = {a: [] for a in ADVISORS}
+            for i, (graph, label) in enumerate(zip(s_graphs, s_labels)):
+                errors["AutoCE"].append(
+                    label.d_error(autoce.recommend(graph, w).model, w))
+                errors["MLP"].append(label.d_error(mlp.recommend(graph, w), w))
+                errors["Rule"].append(label.d_error(rule.recommend(graph, w), w))
+                errors["Knn"].append(label.d_error(knn.recommend(graph, w), w))
+                if i < max_sampling_datasets:
+                    model = sampling.recommend_dataset(dataset_fns[i](), w)
+                    errors["Sampling"].append(label.d_error(model, w))
+            accuracy[suite_name][w] = {
+                a: {eps: float(np.mean(np.asarray(errs) <= eps))
+                    for eps in EPSILONS}
+                for a, errs in errors.items() if errs
+            }
+
+    blocks = []
+    for suite_name, per_weight in accuracy.items():
+        for w, per_advisor in per_weight.items():
+            rows = [[a] + [f"{per_advisor[a][eps]:.0%}" for eps in EPSILONS]
+                    for a in ADVISORS if a in per_advisor]
+            blocks.append(format_table(
+                ["advisor"] + [f"ε={eps}" for eps in EPSILONS], rows,
+                title=f"Table II [{suite_name}, w_a={w}]: recommendation accuracy"))
+    return Table2Result(accuracy, "\n\n".join(blocks))

@@ -1,0 +1,65 @@
+"""Table III: efficacy on the CEB-like benchmark (query-driven models only).
+
+As in the paper, data-driven models are excluded on CEB (they are too
+expensive to train on the wide IMDB schema), so the candidate set is
+{MSCN, LW-NN, LW-XGB}.  A dedicated advisor is trained on the synthetic
+corpus with labels renormalized over the three query-driven models, and
+evaluated on sub-schemas of the CEB-like clone.  Expected shape: AutoCE has
+the lowest D-error at every w_a; MSCN's error grows as w_a falls (accurate
+but slower), LW-NN's shrinks; LW-XGB is worst throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ce.registry import QUERY_DRIVEN_MODELS
+from ..core.advisor import AutoCE, AutoCEConfig
+from ..datagen.presets import ceb_like, derive_subschemas
+from .common import ExperimentSuite, format_table, get_suite
+from .corpus import label_datasets
+
+WEIGHTS = (1.0, 0.9, 0.7, 0.5)
+
+
+@dataclass
+class Table3Result:
+    #: d_error[strategy][w_a]
+    d_error: dict[str, dict[float, float]]
+    text: str
+
+
+def run(suite: ExperimentSuite | None = None, num_subschemas: int = 10) -> Table3Result:
+    suite = suite or get_suite()
+
+    # Advisor over the query-driven candidate subset.
+    entries = suite.train_corpus()
+    qd_labels = [e.label.subset(QUERY_DRIVEN_MODELS) for e in entries]
+    advisor = AutoCE(AutoCEConfig(seed=suite.seed))
+    advisor.fit([e.graph for e in entries], qd_labels)
+
+    datasets = derive_subschemas(ceb_like(), count=num_subschemas, seed=33,
+                                 max_tables=5)
+    graphs, labels = label_datasets(datasets, suite.testbed,
+                                    cache_dir=suite.cache_dir, cache_tag="ceb")
+    labels = [label.subset(QUERY_DRIVEN_MODELS) for label in labels]
+
+    strategies = ("AutoCE",) + tuple(QUERY_DRIVEN_MODELS)
+    d_error = {s: {} for s in strategies}
+    for w in WEIGHTS:
+        per = {s: [] for s in strategies}
+        for graph, label in zip(graphs, labels):
+            per["AutoCE"].append(
+                label.d_error(advisor.recommend(graph, w).model, w))
+            for model in QUERY_DRIVEN_MODELS:
+                per[model].append(label.d_error(model, w))
+        for s in strategies:
+            d_error[s][w] = float(np.mean(per[s]))
+
+    rows = [[f"D-error (w_a={w})"] + [f"{d_error[s][w]:.2%}" for s in strategies]
+            for w in WEIGHTS]
+    text = format_table(["metric"] + list(strategies), rows,
+                        title="Table III: efficacy on the CEB-like benchmark")
+    return Table3Result(d_error, text)

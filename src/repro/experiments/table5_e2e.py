@@ -1,0 +1,144 @@
+"""Table V: end-to-end latency in the PostgreSQL substitute.
+
+For single-table and multi-table workloads, every estimator's cardinalities
+are injected into the optimizer and the chosen plans are executed for real.
+Reported per method: total running time + total inference latency, and the
+improvement of the *total* over the default PostgreSQL estimator.
+
+Expected shapes (the paper's): TrueCard gives the best running time;
+slow-inference models (NeuroCard/UAE) lose on single tables where inference
+dominates; fast query-driven models (LW-NN) win single-table but lose
+multi-table where plan quality dominates; AutoCE(w_a=0.5) is best
+single-table, AutoCE(w_a=1.0) best multi-table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ce.base import TrainingContext
+from ..ce.postgres import PostgresEstimator
+from ..ce.template_base import TemplateModel
+from ..datagen.multi_table import generate_dataset
+from ..datagen.spec import random_spec
+from ..engine.e2e import TrueCardEstimator, run_e2e
+from ..testbed.runner import TestbedConfig
+from ..utils.cache import DiskCache, stable_hash
+from ..workload.generator import generate_workload
+from .common import CANDIDATES, ExperimentSuite, format_table, get_suite
+from .corpus import DEFAULT_CACHE_DIR
+
+METHODS = ("PostgreSQL", "TrueCard") + CANDIDATES + (
+    "AutoCE(w_a=0.5)", "AutoCE(w_a=1.0)")
+
+
+@dataclass
+class Table5Result:
+    #: totals[kind][method] = (running_s, inference_s)
+    totals: dict[str, dict[str, tuple[float, float]]]
+    #: improvement[kind][method] vs the PostgreSQL estimator (total time)
+    improvement: dict[str, dict[str, float]]
+    text: str
+
+
+def _all_subtemplates(dataset, queries):
+    templates = set()
+    for query in queries:
+        tables = query.template
+        for candidate in dataset.connected_subsets():
+            if set(candidate) <= set(tables):
+                templates.add(candidate)
+    return sorted(templates)
+
+
+def _run_kind(suite: ExperimentSuite, kind: str, specs, num_queries: int):
+    testbed = suite.testbed
+    totals: dict[str, list[float]] = {m: [0.0, 0.0] for m in METHODS}
+    advisor = suite.autoce()
+    for spec in specs:
+        dataset = generate_dataset(spec)
+        workload = generate_workload(
+            dataset, num_train=testbed.num_train_queries,
+            num_test=num_queries, seed=suite.seed + 5)
+        ctx = TrainingContext.build(dataset, workload, seed=suite.seed,
+                                    sample_size=testbed.sample_size)
+        candidates = testbed.build_candidates()
+        sub_templates = _all_subtemplates(dataset, workload.test)
+        fitted = {}
+        for name in CANDIDATES:
+            model = candidates[name]
+            model.fit(ctx)
+            if isinstance(model, TemplateModel):
+                model.prepare_templates(sub_templates)
+            fitted[name] = model
+        postgres = PostgresEstimator()
+        postgres.fit(ctx)
+        fitted["PostgreSQL"] = postgres
+        fitted["TrueCard"] = TrueCardEstimator(dataset)
+
+        graph = advisor.featurize(dataset)
+        fitted["AutoCE(w_a=0.5)"] = fitted[advisor.recommend(graph, 0.5).model]
+        fitted["AutoCE(w_a=1.0)"] = fitted[advisor.recommend(graph, 1.0).model]
+
+        for method in METHODS:
+            result = run_e2e(dataset, workload.test, fitted[method])
+            totals[method][0] += result.execution_time
+            inference = (0.0 if method == "TrueCard" else result.inference_time)
+            totals[method][1] += inference
+    return {m: (v[0], v[1]) for m, v in totals.items()}
+
+
+def run(suite: ExperimentSuite | None = None, num_single: int = 2,
+        num_multi: int = 2, num_queries: int = 30,
+        use_cache: bool = True) -> Table5Result:
+    suite = suite or get_suite()
+    cache = DiskCache(suite.cache_dir or DEFAULT_CACHE_DIR)
+    key = "table5_" + stable_hash({
+        "version": 3, "num_single": num_single, "num_multi": num_multi,
+        "num_queries": num_queries, "corpus": suite.num_train,
+        "seed": suite.seed,
+    })
+
+    def compute():
+        single_specs = [random_spec(
+            3_000_000 + i,
+            ranges={"num_tables": (1, 1), "rows": (12_000, 20_000),
+                    "columns_per_table": (4, 7)})
+            for i in range(num_single)]
+        multi_specs = [random_spec(
+            4_000_000 + i,
+            ranges={"num_tables": (3, 5), "rows": (8_000, 15_000)})
+            for i in range(num_multi)]
+        return {
+            "single-table": _run_kind(suite, "single", single_specs, num_queries),
+            "multi-table": _run_kind(suite, "multi", multi_specs, num_queries),
+        }
+
+    totals = cache.get_or_compute(key, compute) if use_cache else compute()
+
+    improvement: dict[str, dict[str, float]] = {}
+    for kind, per_method in totals.items():
+        pg_total = sum(per_method["PostgreSQL"])
+        improvement[kind] = {
+            method: (pg_total - sum(times)) / pg_total
+            for method, times in per_method.items()
+        }
+
+    rows = []
+    for method in METHODS:
+        s_run, s_inf = totals["single-table"][method]
+        m_run, m_inf = totals["multi-table"][method]
+        rows.append([
+            method,
+            f"{s_run:.3f}s + {s_inf:.3f}s",
+            f"{m_run:.3f}s + {m_inf:.3f}s",
+            f"{improvement['single-table'][method]:+.1%}",
+            f"{improvement['multi-table'][method]:+.1%}",
+        ])
+    text = format_table(
+        ["method", "single-table (run + infer)", "multi-table (run + infer)",
+         "single impr.", "multi impr."],
+        rows, title="Table V: end-to-end latency in the PostgreSQL substitute")
+    return Table5Result(totals, improvement, text)

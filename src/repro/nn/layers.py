@@ -1,0 +1,182 @@
+"""Neural-network modules built on the autograd engine.
+
+Provides the building blocks shared by every learned model in the
+reproduction: fully-connected layers, MLPs, masked (autoregressive) linear
+layers for the MADE density estimators, and a generic :class:`Module` base
+class that collects parameters for the optimizers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor
+from . import init
+
+__all__ = ["Module", "Linear", "MaskedLinear", "Sequential", "ReLU", "Tanh", "Sigmoid", "MLP"]
+
+
+class Module:
+    """Base class: tracks parameters and sub-modules by attribute assignment."""
+
+    def __init__(self):
+        object.__setattr__(self, "_params", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Tensor) and value.requires_grad:
+            self._params[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def parameters(self) -> list[Tensor]:
+        params = list(self._params.values())
+        for module in self._modules.values():
+            params.extend(module.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        object.__setattr__(self, "training", True)
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self) -> "Module":
+        object.__setattr__(self, "training", False)
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {}
+        for name, param in self._params.items():
+            state[name] = param.data.copy()
+        for mod_name, module in self._modules.items():
+            for key, value in module.state_dict().items():
+                state[f"{mod_name}.{key}"] = value
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        for name, param in self._params.items():
+            param.data = state[name].copy()
+        for mod_name, module in self._modules.items():
+            prefix = mod_name + "."
+            sub = {k[len(prefix):]: v for k, v in state.items() if k.startswith(prefix)}
+            module.load_state_dict(sub)
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(init.kaiming_uniform(rng, in_features, out_features),
+                             requires_grad=True)
+        self.bias = Tensor(init.zeros(out_features), requires_grad=True) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class MaskedLinear(Linear):
+    """A linear layer whose weight is elementwise-masked.
+
+    Used to enforce the autoregressive property in MADE: connections from
+    later inputs to earlier outputs are zeroed by the mask both in the
+    forward pass and (automatically, through the product rule) in the
+    backward pass.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 mask: np.ndarray):
+        super().__init__(in_features, out_features, rng)
+        if mask.shape != (in_features, out_features):
+            raise ValueError(f"mask shape {mask.shape} != {(in_features, out_features)}")
+        self.mask = Tensor(mask.astype(np.float64))  # constant, no grad
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ (self.weight * self.mask) + self.bias
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Sequential(Module):
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.steps = list(modules)
+        for i, module in enumerate(modules):
+            setattr(self, f"step{i}", module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.steps:
+            x = module(x)
+        return x
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU activations between hidden layers."""
+
+    def __init__(self, sizes: list[int], rng: np.random.Generator,
+                 activation: str = "relu", output_activation: str | None = None):
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        self.sizes = list(sizes)
+        self.activation = activation
+        self.output_activation = output_activation
+        self.layers = []
+        for i, (fan_in, fan_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            layer = Linear(fan_in, fan_out, rng)
+            self.layers.append(layer)
+            setattr(self, f"layer{i}", layer)
+
+    def _activate(self, x: Tensor, kind: str) -> Tensor:
+        if kind == "relu":
+            return x.relu()
+        if kind == "tanh":
+            return x.tanh()
+        if kind == "sigmoid":
+            return x.sigmoid()
+        raise ValueError(f"unknown activation {kind!r}")
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers[:-1]:
+            x = self._activate(layer(x), self.activation)
+        x = self.layers[-1](x)
+        if self.output_activation is not None:
+            x = self._activate(x, self.output_activation)
+        return x

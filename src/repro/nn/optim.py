@@ -1,0 +1,92 @@
+"""Gradient-descent optimizers for the numpy NN library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor
+
+__all__ = ["SGD", "Adam", "clip_grad_norm"]
+
+
+def clip_grad_norm(params: list[Tensor], max_norm: float) -> float:
+    """Clip the global gradient norm in place; returns the pre-clip norm."""
+    total = 0.0
+    for param in params:
+        if param.grad is not None:
+            total += float((param.grad ** 2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm > 0:
+        scale = max_norm / (norm + 1e-12)
+        for param in params:
+            if param.grad is not None:
+                param.grad *= scale
+    return norm
+
+
+class Optimizer:
+    def __init__(self, params: list[Tensor]):
+        self.params = [p for p in params if p.requires_grad]
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    def __init__(self, params: list[Tensor], lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam with optional decoupled weight decay (AdamW when ``decoupled=True``)."""
+
+    def __init__(self, params: list[Tensor], lr: float = 1e-3, betas=(0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for param, m, v in zip(self.params, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,7 @@
+"""Shared utilities: deterministic RNG handling, timing, disk caching."""
+
+from .rng import spawn_rng, rng_from_seed
+from .timing import Timer
+from .cache import DiskCache, stable_hash
+
+__all__ = ["spawn_rng", "rng_from_seed", "Timer", "DiskCache", "stable_hash"]

@@ -1,0 +1,55 @@
+"""A small content-addressed disk cache.
+
+The experiment harness labels corpora of datasets by training and testing all
+candidate CE models — the expensive step the paper calls "dataset labeling".
+Results are cached on disk keyed by a stable hash of the experiment
+configuration, so every benchmark shares one labeling pass.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from pathlib import Path
+
+
+def stable_hash(obj) -> str:
+    """A deterministic hash of JSON-serializable configuration objects."""
+    payload = json.dumps(obj, sort_keys=True, default=str).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+class DiskCache:
+    """Pickle-backed key/value store under a cache directory."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def get(self, key: str, default=None):
+        path = self._path(key)
+        if not path.exists():
+            return default
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+
+    def put(self, key: str, value) -> None:
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+
+    def get_or_compute(self, key: str, compute):
+        if key in self:
+            return self.get(key)
+        value = compute()
+        self.put(key, value)
+        return value

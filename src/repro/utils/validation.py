@@ -1,0 +1,13 @@
+"""Input-validation helpers raising uniform, descriptive errors."""
+
+from __future__ import annotations
+
+
+def require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> None:
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")

@@ -1,0 +1,10 @@
+"""Query workloads: SPJ query objects, generators and featurizations."""
+
+from .query import Predicate, Query
+from .generator import Workload, generate_query, generate_workload
+from .encoding import QueryEncoder, ColumnRef
+
+__all__ = [
+    "Predicate", "Query", "Workload", "generate_query", "generate_workload",
+    "QueryEncoder", "ColumnRef",
+]

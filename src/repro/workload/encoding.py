@@ -1,0 +1,145 @@
+"""Query featurization for the query-driven CE models.
+
+Two encodings are provided, following the papers behind the baselines:
+
+* **Set encoding** (MSCN [Kipf et al.]): a query is three sets — table
+  one-hots, join-edge one-hots, and predicate feature vectors
+  ``[column one-hot, normalized lo, normalized hi]`` — padded to fixed set
+  sizes with a validity mask.
+* **Flat encoding** (LW-NN / LW-XGB [Dutt et al.]): one fixed-length vector
+  holding, for every (table, column) pair, the normalized predicate range
+  (defaulting to the full domain) plus join-edge indicator bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..db.schema import Dataset
+from .query import Query
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    table: str
+    column: str
+
+
+class QueryEncoder:
+    """Vocabulary-aware encoder for one dataset's queries."""
+
+    def __init__(self, dataset: Dataset):
+        self.dataset = dataset
+        self.tables = sorted(dataset.table_names)
+        self.table_index = {t: i for i, t in enumerate(self.tables)}
+        self.joins = sorted((fk.child, fk.parent) for fk in dataset.foreign_keys)
+        self.join_index = {j: i for i, j in enumerate(self.joins)}
+        self.columns: list[ColumnRef] = []
+        self.bounds: dict[tuple[str, str], tuple[int, int]] = {}
+        for table in self.tables:
+            for column in dataset[table].data_columns():
+                self.columns.append(ColumnRef(table, column))
+                values = dataset[table][column]
+                self.bounds[(table, column)] = (int(values.min()), int(values.max()))
+        self.column_index = {(c.table, c.column): i for i, c in enumerate(self.columns)}
+
+    # ------------------------------------------------------------------
+    def _normalize(self, table: str, column: str, value: int) -> float:
+        lo, hi = self.bounds[(table, column)]
+        if hi == lo:
+            return 0.0
+        return (value - lo) / (hi - lo)
+
+    # ------------------------------------------------------------------
+    # Flat encoding (LW-NN / LW-XGB)
+    # ------------------------------------------------------------------
+    @property
+    def flat_dim(self) -> int:
+        return 2 * len(self.columns) + len(self.joins) + len(self.tables)
+
+    def encode_flat(self, query: Query) -> np.ndarray:
+        vec = np.zeros(self.flat_dim, dtype=np.float64)
+        # Default ranges cover the full domain.
+        vec[0:2 * len(self.columns):2] = 0.0
+        vec[1:2 * len(self.columns):2] = 1.0
+        for pred in query.predicates:
+            idx = self.column_index[(pred.table, pred.column)]
+            vec[2 * idx] = self._normalize(pred.table, pred.column, pred.lo)
+            vec[2 * idx + 1] = self._normalize(pred.table, pred.column, pred.hi)
+        base = 2 * len(self.columns)
+        table_set = set(query.tables)
+        for (child, parent), j in self.join_index.items():
+            if child in table_set and parent in table_set:
+                vec[base + j] = 1.0
+        base += len(self.joins)
+        for table in query.tables:
+            vec[base + self.table_index[table]] = 1.0
+        return vec
+
+    def encode_flat_batch(self, queries: list[Query]) -> np.ndarray:
+        return np.stack([self.encode_flat(q) for q in queries])
+
+    # ------------------------------------------------------------------
+    # Set encoding (MSCN)
+    # ------------------------------------------------------------------
+    @property
+    def table_feat_dim(self) -> int:
+        return len(self.tables)
+
+    @property
+    def join_feat_dim(self) -> int:
+        return max(1, len(self.joins))
+
+    @property
+    def predicate_feat_dim(self) -> int:
+        return len(self.columns) + 2
+
+    def encode_sets(self, query: Query,
+                    max_tables: int, max_joins: int, max_predicates: int):
+        """Padded set tensors + masks for one query."""
+        t_feats = np.zeros((max_tables, self.table_feat_dim))
+        t_mask = np.zeros(max_tables)
+        for i, table in enumerate(query.tables[:max_tables]):
+            t_feats[i, self.table_index[table]] = 1.0
+            t_mask[i] = 1.0
+
+        j_feats = np.zeros((max_joins, self.join_feat_dim))
+        j_mask = np.zeros(max_joins)
+        table_set = set(query.tables)
+        slot = 0
+        for (child, parent), j in self.join_index.items():
+            if child in table_set and parent in table_set and slot < max_joins:
+                j_feats[slot, j] = 1.0
+                j_mask[slot] = 1.0
+                slot += 1
+
+        p_feats = np.zeros((max_predicates, self.predicate_feat_dim))
+        p_mask = np.zeros(max_predicates)
+        for i, pred in enumerate(query.predicates[:max_predicates]):
+            idx = self.column_index[(pred.table, pred.column)]
+            p_feats[i, idx] = 1.0
+            p_feats[i, -2] = self._normalize(pred.table, pred.column, pred.lo)
+            p_feats[i, -1] = self._normalize(pred.table, pred.column, pred.hi)
+            p_mask[i] = 1.0
+        return (t_feats, t_mask), (j_feats, j_mask), (p_feats, p_mask)
+
+    def encode_sets_batch(self, queries: list[Query]):
+        """Batched padded set tensors: shapes [B, S, D] with [B, S] masks."""
+        max_tables = max((len(q.tables) for q in queries), default=1)
+        max_joins = max((q.num_joins for q in queries), default=0) or 1
+        max_preds = max((len(q.predicates) for q in queries), default=1) or 1
+        tables, joins, preds = [], [], []
+        t_masks, j_masks, p_masks = [], [], []
+        for query in queries:
+            (tf, tm), (jf, jm), (pf, pm) = self.encode_sets(
+                query, max_tables, max_joins, max_preds)
+            tables.append(tf); t_masks.append(tm)
+            joins.append(jf); j_masks.append(jm)
+            preds.append(pf); p_masks.append(pm)
+        return (
+            (np.stack(tables), np.stack(t_masks)),
+            (np.stack(joins), np.stack(j_masks)),
+            (np.stack(preds), np.stack(p_masks)),
+        )

@@ -1,0 +1,84 @@
+"""From-scratch gradient-boosted trees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ce.gbdt import GradientBoostedTrees, RegressionTree
+
+
+class TestRegressionTree:
+    def test_fits_step_function(self):
+        x = np.linspace(0, 1, 200).reshape(-1, 1)
+        y = (x[:, 0] > 0.5).astype(np.float64)
+        tree = RegressionTree(max_depth=2).fit(x, y)
+        pred = tree.predict(x)
+        assert np.mean((pred - y) ** 2) < 0.01
+
+    def test_constant_target_single_leaf(self):
+        x = np.random.default_rng(0).normal(size=(50, 3))
+        y = np.full(50, 7.0)
+        tree = RegressionTree(max_depth=3).fit(x, y)
+        assert tree.root.is_leaf
+        np.testing.assert_allclose(tree.predict(x[:5]), 7.0)
+
+    def test_depth_limit(self):
+        x = np.random.default_rng(0).normal(size=(200, 1))
+        y = np.sin(x[:, 0] * 10)
+        tree = RegressionTree(max_depth=1).fit(x, y)
+        # Depth 1 → at most 2 leaves → at most 2 distinct predictions.
+        assert len(np.unique(tree.predict(x))) <= 2
+
+    def test_min_samples_leaf(self):
+        x = np.arange(10, dtype=np.float64).reshape(-1, 1)
+        y = x[:, 0]
+        tree = RegressionTree(max_depth=5, min_samples_leaf=4).fit(x, y)
+
+        def leaf_sizes(node, xs):
+            if node.is_leaf:
+                return [len(xs)]
+            mask = xs[:, node.feature] <= node.threshold
+            return leaf_sizes(node.left, xs[mask]) + leaf_sizes(node.right, xs[~mask])
+        assert min(leaf_sizes(tree.root, x)) >= 4
+
+
+class TestGBDT:
+    def test_improves_over_mean_baseline(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, size=(300, 4))
+        y = 3 * x[:, 0] + np.sin(x[:, 1] * 6)
+        model = GradientBoostedTrees(n_estimators=30, learning_rate=0.3).fit(x, y)
+        residual = np.mean((model.predict(x) - y) ** 2)
+        baseline = np.var(y)
+        assert residual < baseline * 0.1
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(100, 3))
+        y = x[:, 0] * 2
+        a = GradientBoostedTrees(seed=5, subsample=0.8).fit(x, y).predict(x)
+        b = GradientBoostedTrees(seed=5, subsample=0.8).fit(x, y).predict(x)
+        np.testing.assert_allclose(a, b)
+
+    def test_predict_shape(self):
+        x = np.random.default_rng(0).normal(size=(50, 2))
+        model = GradientBoostedTrees(n_estimators=3).fit(x, x[:, 0])
+        assert model.predict(x[:7]).shape == (7,)
+
+    def test_no_extrapolation_beyond_targets(self):
+        """Trees cannot predict outside the training target range —
+        the failure mode behind LW-XGB's Q-error in the paper."""
+        x = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = x[:, 0] * 10
+        model = GradientBoostedTrees(n_estimators=20).fit(x, y)
+        far = model.predict(np.array([[100.0]]))[0]
+        assert far <= y.max() + 1e-6
+
+    def test_shrinkage_slows_fit(self):
+        x = np.random.default_rng(2).normal(size=(150, 2))
+        y = x[:, 0]
+        fast = GradientBoostedTrees(n_estimators=3, learning_rate=1.0).fit(x, y)
+        slow = GradientBoostedTrees(n_estimators=3, learning_rate=0.05).fit(x, y)
+        assert (np.mean((fast.predict(x) - y) ** 2)
+                < np.mean((slow.predict(x) - y) ** 2))

@@ -1,0 +1,158 @@
+"""Integration tests of the nine CE models against shared fixtures.
+
+Each model is fitted on the small multi-table dataset (and the single-table
+one where relevant) and must produce positive finite estimates with a sane
+mean Q-error — well below what always-guessing-1 would give.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ce import (BayesCard, DeepDB, EnsembleCE, LWNN, LWXGB, MSCN,
+                      NeuroCard, PostgresEstimator, UAE, build_models,
+                      clip_card)
+from repro.ce.base import TrainingContext
+from repro.ce.lwnn import LWNNConfig
+from repro.ce.lwxgb import LWXGBConfig
+from repro.ce.mscn import MSCNConfig
+from repro.ce.neurocard import NeuroCardConfig
+from repro.ce.uae import UAEConfig
+from repro.testbed.metrics import qerror
+
+FAST_NEURO = NeuroCardConfig(epochs=4, hidden=24, num_samples=32)
+FAST_UAE = UAEConfig(epochs=4, hidden=24, num_samples=32)
+FAST_MSCN = MSCNConfig(epochs=25)
+FAST_LWNN = LWNNConfig(epochs=40)
+
+
+def fit_and_score(model, ctx):
+    model.fit(ctx)
+    test = ctx.workload.test
+    true = np.array([q.true_cardinality for q in test], dtype=np.float64)
+    estimates = model.estimate_batch(test)
+    assert np.all(np.isfinite(estimates))
+    assert np.all(estimates >= 1.0)
+    return float(qerror(estimates, true).mean()), estimates, true
+
+
+def baseline_qerror(ctx):
+    """Q-error of always guessing 1 row."""
+    test = ctx.workload.test
+    true = np.array([q.true_cardinality for q in test], dtype=np.float64)
+    return float(qerror(np.ones_like(true), true).mean())
+
+
+@pytest.mark.parametrize("factory", [
+    lambda: PostgresEstimator(),
+    lambda: MSCN(FAST_MSCN),
+    lambda: LWNN(FAST_LWNN),
+    lambda: LWXGB(LWXGBConfig(n_estimators=15)),
+    lambda: DeepDB(),
+    lambda: BayesCard(),
+    lambda: NeuroCard(FAST_NEURO),
+    lambda: UAE(FAST_UAE),
+], ids=["Postgres", "MSCN", "LW-NN", "LW-XGB", "DeepDB", "BayesCard",
+        "NeuroCard", "UAE"])
+def test_model_beats_trivial_baseline(factory, small_ctx):
+    q_mean, _, _ = fit_and_score(factory(), small_ctx)
+    assert q_mean < baseline_qerror(small_ctx) / 2
+
+
+class TestDataDrivenSpecifics:
+    def test_deepdb_unconstrained_query_returns_join_size(self, small_ctx):
+        model = DeepDB()
+        model.fit(small_ctx)
+        from repro.workload.query import Query
+        template = small_ctx.workload.templates[0]
+        estimate = model.estimate(Query(tuple(template)))
+        exact = small_ctx.samples.template_size(tuple(sorted(template)))
+        assert estimate == pytest.approx(exact, rel=0.01)
+
+    def test_bayescard_single_table_accuracy(self, single_ctx):
+        q_mean, _, _ = fit_and_score(BayesCard(), single_ctx)
+        assert q_mean < 3.0
+
+    def test_neurocard_lazy_template(self, small_ctx, small_dataset):
+        model = NeuroCard(FAST_NEURO)
+        model.fit(small_ctx)
+        from repro.workload.query import Query
+        # A template outside the workload: single table not used alone.
+        all_templates = set(map(tuple, small_ctx.workload.templates))
+        for t in small_dataset.connected_subsets(max_size=1):
+            if t not in all_templates:
+                estimate = model.estimate(Query(t))
+                assert estimate >= 1.0
+                return
+        pytest.skip("workload covers all single-table templates")
+
+    def test_uae_calibrates_some_template(self, small_ctx):
+        model = UAE(FAST_UAE)
+        model.fit(small_ctx)
+        assert len(model._calibration) >= 1
+
+    def test_template_budget_split(self, small_ctx):
+        model = DeepDB()
+        model.fit(small_ctx)
+        budget = model._per_template_budget
+        n_templates = len(small_ctx.workload.templates)
+        assert budget >= model.MIN_TEMPLATE_SAMPLE
+        assert budget <= max(model.MIN_TEMPLATE_SAMPLE,
+                             small_ctx.sample_size // max(1, n_templates))
+
+
+class TestQueryDrivenSpecifics:
+    def test_lwnn_inference_is_numpy_fast(self, small_ctx):
+        import time
+        model = LWNN(FAST_LWNN)
+        model.fit(small_ctx)
+        query = small_ctx.workload.test[0]
+        start = time.perf_counter()
+        for _ in range(50):
+            model.estimate(query)
+        per_query = (time.perf_counter() - start) / 50
+        assert per_query < 0.001  # < 1 ms
+
+    def test_mscn_deterministic(self, small_ctx):
+        a = MSCN(FAST_MSCN); a.fit(small_ctx)
+        b = MSCN(FAST_MSCN); b.fit(small_ctx)
+        q = small_ctx.workload.test[0]
+        assert a.estimate(q) == pytest.approx(b.estimate(q))
+
+
+class TestEnsemble:
+    def test_weights_sum_to_one(self, small_ctx):
+        base = [PostgresEstimator(), LWXGB(LWXGBConfig(n_estimators=5))]
+        for m in base:
+            m.fit(small_ctx)
+        ensemble = EnsembleCE(base)
+        ensemble.fit(small_ctx)
+        assert ensemble.weights.sum() == pytest.approx(1.0)
+
+    def test_estimate_within_log_hull(self, small_ctx):
+        base = [PostgresEstimator(), LWXGB(LWXGBConfig(n_estimators=5))]
+        for m in base:
+            m.fit(small_ctx)
+        ensemble = EnsembleCE(base)
+        ensemble.fit(small_ctx)
+        q = small_ctx.workload.test[0]
+        estimates = [m.estimate(q) for m in base]
+        assert min(estimates) * 0.99 <= ensemble.estimate(q) <= max(estimates) * 1.01
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ValueError):
+            EnsembleCE([])
+
+
+class TestClipCard:
+    def test_floors_at_one(self):
+        assert clip_card(0.001) == 1.0
+        assert clip_card(-5) == 1.0
+
+    def test_handles_nan_inf(self):
+        assert clip_card(float("nan")) == 1.0
+        assert clip_card(float("inf"), upper=10.0) == 10.0
+
+    def test_upper_bound(self):
+        assert clip_card(100, upper=50) == 50.0

@@ -1,0 +1,41 @@
+"""Log-cardinality normalization shared by the query-driven regressors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ce.targets import LogCardNormalizer
+
+
+class TestLogCardNormalizer:
+    def test_transform_in_unit_interval(self):
+        cards = np.array([1, 10, 100, 10_000])
+        norm = LogCardNormalizer().fit(cards)
+        out = norm.transform(cards)
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 10**9), min_size=2, max_size=20))
+    def test_roundtrip(self, cards):
+        arr = np.array(cards, dtype=np.float64)
+        norm = LogCardNormalizer().fit(arr)
+        recovered = norm.inverse(norm.transform(arr))
+        np.testing.assert_allclose(recovered, arr, rtol=1e-6, atol=1e-6)
+
+    def test_degenerate_single_value(self):
+        norm = LogCardNormalizer().fit(np.array([50.0]))
+        out = norm.inverse(norm.transform(np.array([50.0])))
+        assert out[0] == pytest.approx(50.0, rel=1e-6)
+
+    def test_inverse_clips_exponent(self):
+        norm = LogCardNormalizer().fit(np.array([1.0, 100.0]))
+        assert np.isfinite(norm.inverse(np.array([1e6]))).all()
+
+    def test_monotone(self):
+        norm = LogCardNormalizer().fit(np.array([1, 1000]))
+        a, b = norm.transform(np.array([10, 500]))
+        assert a < b

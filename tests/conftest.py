@@ -1,0 +1,73 @@
+"""Shared fixtures: small deterministic datasets, workloads and contexts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ce.base import TrainingContext
+from repro.datagen.multi_table import generate_dataset
+from repro.datagen.spec import DatasetSpec, TableSpec
+from repro.workload.generator import generate_workload
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+SMALL_SPEC = DatasetSpec(
+    name="small3",
+    tables=(
+        TableSpec(num_columns=3, num_rows=400, domain_size=20, skew=0.4,
+                  max_correlation=0.5, interaction=0.3),
+        TableSpec(num_columns=2, num_rows=300, domain_size=15, skew=0.2,
+                  max_correlation=0.3),
+        TableSpec(num_columns=2, num_rows=250, domain_size=12, skew=0.7,
+                  max_correlation=0.6),
+    ),
+    join_correlation_min=0.4,
+    join_correlation_max=0.9,
+    fanout_skew=0.5,
+    seed=7,
+)
+
+SINGLE_SPEC = DatasetSpec(
+    name="single1",
+    tables=(TableSpec(num_columns=4, num_rows=500, domain_size=25, skew=0.5,
+                      max_correlation=0.7, interaction=0.4),),
+    seed=9,
+)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A 3-table dataset with joins (session-scoped: generation is pure)."""
+    return generate_dataset(SMALL_SPEC)
+
+
+@pytest.fixture(scope="session")
+def single_dataset():
+    return generate_dataset(SINGLE_SPEC)
+
+
+@pytest.fixture(scope="session")
+def small_workload(small_dataset):
+    return generate_workload(small_dataset, num_train=40, num_test=15, seed=3)
+
+
+@pytest.fixture(scope="session")
+def single_workload(single_dataset):
+    return generate_workload(single_dataset, num_train=40, num_test=15, seed=4)
+
+
+@pytest.fixture()
+def small_ctx(small_dataset, small_workload):
+    return TrainingContext.build(small_dataset, small_workload, seed=0,
+                                 sample_size=500)
+
+
+@pytest.fixture()
+def single_ctx(single_dataset, single_workload):
+    return TrainingContext.build(single_dataset, single_workload, seed=0,
+                                 sample_size=500)

@@ -1,0 +1,125 @@
+"""The DML design knobs: tau policy and similarity target."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dml import DMLConfig, DMLTrainer
+from repro.core.encoder import GINEncoder
+from repro.core.graph import FeatureGraph
+from repro.core.losses import cosine_similarity_matrix
+from repro.testbed.scores import DatasetLabel
+
+MODELS = ("A", "B", "C")
+
+
+def tiny_corpus(n=12, dim=8, seed=1):
+    rng = np.random.default_rng(seed)
+    graphs, labels = [], []
+    for i in range(n):
+        kind = i % 2
+        vertices = rng.normal(size=(2, dim)) * 0.2
+        vertices[:, 0] += 2.0 if kind else -2.0
+        graphs.append(FeatureGraph(f"g{i}", vertices, np.zeros((2, 2))))
+        qerr = [1.1, 4.0, 8.0] if kind else [8.0, 4.0, 1.1]
+        labels.append(DatasetLabel(MODELS, qerr, [0.001, 0.002, 0.003]))
+    return graphs, labels
+
+
+def make_trainer(**kwargs) -> DMLTrainer:
+    encoder = GINEncoder(vertex_dim=8, hidden_dim=12, embedding_dim=6, seed=0)
+    return DMLTrainer(encoder, DMLConfig(epochs=3, batch_size=6, seed=0,
+                                         **kwargs))
+
+
+class TestConfigValidation:
+    def test_unknown_tau_mode_rejected(self):
+        with pytest.raises(ValueError, match="tau_mode"):
+            make_trainer(tau_mode="sometimes")
+
+    def test_unknown_similarity_rejected(self):
+        with pytest.raises(ValueError, match="similarity"):
+            make_trainer(similarity="vibes")
+
+    def test_unknown_loss_rejected(self):
+        with pytest.raises(ValueError, match="loss"):
+            make_trainer(loss="hinge^2")
+
+
+class TestEffectiveTau:
+    def test_fixed_mode_returns_config_tau(self):
+        trainer = make_trainer(tau_mode="fixed", tau=0.42)
+        sims = np.array([[1.0, 0.9], [0.9, 1.0]])
+        assert trainer._effective_tau(sims) == 0.42
+
+    def test_quantile_mode_tracks_batch(self):
+        trainer = make_trainer(tau_mode="quantile", tau_quantile=0.5)
+        sims = np.array([[1.0, 0.2, 0.4],
+                         [0.2, 1.0, 0.6],
+                         [0.4, 0.6, 1.0]])
+        # Off-diagonal values: [0.2, 0.4, 0.2, 0.6, 0.4, 0.6]; median = 0.4.
+        assert trainer._effective_tau(sims) == pytest.approx(0.4)
+
+    def test_quantile_never_degenerate(self):
+        """Even near-identical similarities split into both classes."""
+        trainer = make_trainer(tau_mode="quantile", tau_quantile=0.7)
+        rng = np.random.default_rng(0)
+        sims = np.clip(0.97 + rng.normal(0, 0.005, (16, 16)), -1, 1)
+        sims = (sims + sims.T) / 2
+        np.fill_diagonal(sims, 1.0)
+        tau = trainer._effective_tau(sims)
+        off = sims[~np.eye(16, dtype=bool)]
+        positives = float(np.mean(off >= tau))
+        assert 0.05 < positives < 0.6
+
+
+class TestProfileVectors:
+    def test_shape_covers_weight_grid(self):
+        graphs, labels = tiny_corpus()
+        trainer = make_trainer()
+        profiles = trainer._profile_vectors(labels)
+        expected_dim = len(trainer.config.weights) * len(MODELS)
+        assert profiles.shape == (len(labels), expected_dim)
+
+    def test_identical_labels_identical_profiles(self):
+        graphs, labels = tiny_corpus()
+        trainer = make_trainer()
+        clone = DatasetLabel(MODELS, labels[0].qerror_means,
+                             labels[0].latency_means)
+        profiles = trainer._profile_vectors([labels[0], clone])
+        np.testing.assert_allclose(profiles[0], profiles[1])
+
+    def test_profile_similarity_separates_label_classes(self):
+        graphs, labels = tiny_corpus()
+        trainer = make_trainer()
+        profiles = trainer._profile_vectors(labels)
+        sims = cosine_similarity_matrix(profiles)
+        same = sims[0, 2]   # both kind-0
+        different = sims[0, 1]  # kind-0 vs kind-1
+        assert same > different
+
+
+class TestTrainingRuns:
+    @pytest.mark.parametrize("tau_mode", ["fixed", "quantile"])
+    @pytest.mark.parametrize("similarity", ["profile", "weight_cycle"])
+    def test_all_variants_train(self, tau_mode, similarity):
+        graphs, labels = tiny_corpus()
+        trainer = make_trainer(tau_mode=tau_mode, similarity=similarity)
+        history = trainer.train(graphs, labels)
+        assert len(history) == 3
+        assert all(np.isfinite(h) for h in history)
+
+    def test_profile_mode_learns_separation(self):
+        graphs, labels = tiny_corpus(n=16)
+        encoder = GINEncoder(vertex_dim=8, hidden_dim=16, embedding_dim=6,
+                             seed=0)
+        trainer = DMLTrainer(encoder, DMLConfig(
+            epochs=25, batch_size=8, seed=0, similarity="profile"))
+        trainer.train(graphs, labels)
+        emb = encoder.embed(graphs)
+        kinds = np.array([i % 2 for i in range(len(graphs))])
+        dist = np.sqrt(((emb[:, None] - emb[None, :]) ** 2).sum(-1))
+        same = dist[kinds[:, None] == kinds[None, :]].mean()
+        different = dist[kinds[:, None] != kinds[None, :]].mean()
+        assert different > same

@@ -1,0 +1,211 @@
+"""GIN encoder (Eq. 5) and the DML losses (Eqs. 6–12)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.encoder import GINEncoder
+from repro.core.graph import FeatureGraph
+from repro.core.losses import (basic_contrastive_loss,
+                               cosine_similarity_matrix, pair_weights,
+                               pairwise_distances, positive_negative_masks,
+                               weighted_contrastive_loss)
+
+
+def random_graph(n_tables, dim=10, seed=0):
+    rng = np.random.default_rng(seed)
+    vertices = rng.normal(size=(n_tables, dim))
+    edges = np.zeros((n_tables, n_tables))
+    for i in range(1, n_tables):
+        edges[i - 1, i] = rng.uniform(0.2, 1.0)
+    return FeatureGraph(f"g{seed}", vertices, edges)
+
+
+class TestGINEncoder:
+    def test_output_shape(self):
+        encoder = GINEncoder(vertex_dim=10, hidden_dim=16, embedding_dim=8)
+        graphs = [random_graph(3, seed=i) for i in range(4)]
+        assert encoder.embed(graphs).shape == (4, 8)
+
+    def test_padding_invariance(self):
+        """Padded vertices must not change a graph's embedding."""
+        encoder = GINEncoder(vertex_dim=10, hidden_dim=16, embedding_dim=8)
+        g = random_graph(2, seed=3)
+        alone = encoder.embed([g])
+        batched = encoder.embed([g, random_graph(5, seed=4)])
+        np.testing.assert_allclose(alone[0], batched[0], atol=1e-10)
+
+    def test_edges_matter(self):
+        encoder = GINEncoder(vertex_dim=10, hidden_dim=16, embedding_dim=8)
+        g = random_graph(3, seed=5)
+        cut = FeatureGraph(g.name, g.vertices, np.zeros_like(g.edges))
+        assert not np.allclose(encoder.embed([g]), encoder.embed([cut]))
+
+    def test_deterministic_given_seed(self):
+        a = GINEncoder(10, 16, 8, seed=7)
+        b = GINEncoder(10, 16, 8, seed=7)
+        g = random_graph(3, seed=1)
+        np.testing.assert_allclose(a.embed([g]), b.embed([g]))
+
+    def test_gradient_reaches_epsilon(self):
+        encoder = GINEncoder(10, 16, 8, seed=0)
+        graphs = [random_graph(3, seed=i) for i in range(3)]
+        out = encoder.encode_batch(graphs)
+        (out * out).sum().backward()
+        assert encoder.layers[0].epsilon.grad is not None
+
+    def test_num_layers(self):
+        encoder = GINEncoder(10, 16, 8, num_layers=3)
+        assert len(encoder.layers) == 3
+
+
+class TestSimilarity:
+    def test_cosine_identical_is_one(self):
+        labels = np.array([[1.0, 2.0], [2.0, 4.0]])
+        sims = cosine_similarity_matrix(labels)
+        assert sims[0, 1] == pytest.approx(1.0)
+
+    def test_cosine_orthogonal_is_zero(self):
+        labels = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert cosine_similarity_matrix(labels)[0, 1] == pytest.approx(0.0)
+
+    def test_masks_partition_offdiagonal(self):
+        sims = np.array([[1.0, 0.99, 0.5],
+                         [0.99, 1.0, 0.2],
+                         [0.5, 0.2, 1.0]])
+        pos, neg = positive_negative_masks(sims, tau=0.9)
+        assert not pos.diagonal().any() and not neg.diagonal().any()
+        off_diag = ~np.eye(3, dtype=bool)
+        assert np.all(pos[off_diag] ^ neg[off_diag])
+
+    def test_threshold_boundary_inclusive(self):
+        sims = np.array([[1.0, 0.9], [0.9, 1.0]])
+        pos, neg = positive_negative_masks(sims, tau=0.9)
+        assert pos[0, 1] and not neg[0, 1]
+
+
+class TestDistances:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(5, 4))
+        u = pairwise_distances(nn.Tensor(x)).numpy()
+        expected = np.sqrt(((x[:, None] - x[None, :]) ** 2).sum(-1))
+        # The implementation adds a 1e-12 epsilon inside the sqrt, so the
+        # diagonal is 1e-6 instead of exactly 0.
+        np.testing.assert_allclose(u, expected, atol=2e-6)
+
+    def test_gradient_flows(self):
+        x = nn.Tensor(np.random.default_rng(1).normal(size=(4, 3)),
+                      requires_grad=True)
+        pairwise_distances(x).sum().backward()
+        assert x.grad is not None and np.isfinite(x.grad).all()
+
+
+class TestWeightedContrastiveLoss:
+    def _setup(self, seed=0):
+        rng = np.random.default_rng(seed)
+        emb = nn.Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        labels = rng.uniform(0.1, 1.0, size=(6, 3))
+        sims = cosine_similarity_matrix(labels)
+        return emb, sims
+
+    def test_finite_scalar(self):
+        emb, sims = self._setup()
+        loss = weighted_contrastive_loss(emb, sims, tau=0.95)
+        assert np.isfinite(loss.item())
+
+    def test_training_separates_classes(self):
+        """Minimizing Eq. 9 pulls positives together, pushes negatives apart."""
+        rng = np.random.default_rng(3)
+        x = nn.Tensor(rng.normal(size=(8, 4)), requires_grad=True)
+        # Two similarity classes: {0..3} vs {4..7}.
+        sims = np.full((8, 8), 0.2)
+        sims[:4, :4] = 0.99
+        sims[4:, 4:] = 0.99
+        np.fill_diagonal(sims, 1.0)
+        opt = nn.Adam([x], lr=0.05)
+        for _ in range(150):
+            loss = weighted_contrastive_loss(x, sims, tau=0.9, gamma=2.0)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        emb = x.data
+        dist = np.sqrt(((emb[:, None] - emb[None, :]) ** 2).sum(-1))
+        within = (dist[:4, :4].sum() + dist[4:, 4:].sum()) / (2 * 12)
+        across = dist[:4, 4:].mean()
+        assert across > 2 * within
+
+    def test_pair_weights_match_loss_gradient(self):
+        """Eqs. 11–12: |∂L_c/∂U_ij| equals the closed-form pair weights."""
+        rng = np.random.default_rng(5)
+        m = 5
+        u_data = rng.uniform(0.5, 2.0, size=(m, m))
+        u_data = (u_data + u_data.T) / 2
+        np.fill_diagonal(u_data, 0.0)
+        labels = rng.uniform(0.1, 1.0, size=(m, 3))
+        sims = cosine_similarity_matrix(labels)
+        tau, gamma = 0.95, 2.0
+        positive, negative = positive_negative_masks(sims, tau)
+
+        # Recompute Eq. 9 directly on a distance Tensor.
+        u = nn.Tensor(u_data, requires_grad=True)
+        sims_t = nn.Tensor(sims)
+        neg_inf = nn.Tensor(np.full((m, m), -1e9))
+        pos_arg = nn.where(positive, u + sims_t, neg_inf)
+        neg_arg = nn.where(negative, (u + sims_t) * -1.0 + gamma, neg_inf)
+        has_pos = positive.any(axis=1).astype(float)
+        has_neg = negative.any(axis=1).astype(float)
+        loss = (pos_arg.logsumexp(axis=1) * nn.Tensor(has_pos)
+                + neg_arg.logsumexp(axis=1) * nn.Tensor(has_neg)).mean()
+        loss.backward()
+
+        w_pos, w_neg = pair_weights(u_data, sims, tau)
+        grad = np.abs(u.grad) * m  # loss averages over m anchors
+        for i in range(m):
+            for j in range(m):
+                if positive[i, j]:
+                    assert grad[i, j] == pytest.approx(w_pos[i, j], rel=1e-6)
+                elif negative[i, j]:
+                    assert grad[i, j] == pytest.approx(w_neg[i, j], rel=1e-6)
+
+    def test_weight_ordering_matches_example5(self):
+        """Larger-distance positives and smaller-distance negatives weigh more."""
+        sims = np.array([
+            [1.0, 0.99, 0.99, 0.5, 0.5],
+            [0.99, 1.0, 0.9, 0.4, 0.4],
+            [0.99, 0.9, 1.0, 0.4, 0.4],
+            [0.5, 0.4, 0.4, 1.0, 0.9],
+            [0.5, 0.4, 0.4, 0.9, 1.0],
+        ])
+        distances = np.array([
+            [0.0, 1.0, 2.0, 1.0, 3.0],
+            [1.0, 0.0, 1.0, 1.0, 1.0],
+            [2.0, 1.0, 0.0, 1.0, 1.0],
+            [1.0, 1.0, 1.0, 0.0, 1.0],
+            [3.0, 1.0, 1.0, 1.0, 0.0],
+        ])
+        w_pos, w_neg = pair_weights(distances, sims, tau=0.95)
+        # Anchor 0: positives {1, 2} with U=1 < U=2 → larger distance weighs more.
+        assert w_pos[0, 2] > w_pos[0, 1]
+        # Anchor 0: negatives {3, 4} with U=1 < U=3 → smaller distance weighs more.
+        assert w_neg[0, 3] > w_neg[0, 4]
+
+
+class TestBasicContrastiveLoss:
+    def test_finite(self):
+        rng = np.random.default_rng(0)
+        emb = nn.Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        sims = cosine_similarity_matrix(rng.uniform(0.1, 1, size=(6, 3)))
+        loss = basic_contrastive_loss(emb, sims)
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert np.isfinite(emb.grad).all()
+
+    def test_margin_hinge_nonnegative(self):
+        # Far-apart negatives beyond the margin contribute zero.
+        emb = nn.Tensor(np.array([[0.0, 0.0], [100.0, 100.0]]))
+        sims = np.array([[1.0, 0.0], [0.0, 1.0]])
+        loss = basic_contrastive_loss(emb, sims, tau=0.9, gamma=2.0)
+        assert loss.item() == pytest.approx(0.0)

@@ -1,0 +1,148 @@
+"""Round-trip tests for advisor persistence (save_advisor / load_advisor)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import AutoCE, AutoCEConfig
+from repro.core.dml import DMLConfig
+from repro.core.graph import FeatureGraph
+from repro.core.persistence import (FORMAT_VERSION, _label_from_dict,
+                                    _label_to_dict, load_advisor,
+                                    save_advisor)
+from repro.testbed.scores import DatasetLabel, ScoreLabel
+
+MODELS = ("A", "B", "C")
+
+
+def tiny_corpus(n=12, dim=10, seed=3):
+    rng = np.random.default_rng(seed)
+    graphs, labels = [], []
+    for i in range(n):
+        kind = i % 3
+        tables = int(rng.integers(1, 4))
+        vertices = rng.normal(size=(tables, dim)) * 0.3
+        vertices[:, 0] += {0: 2.0, 1: -2.0, 2: 0.0}[kind]
+        edges = np.zeros((tables, tables))
+        for t in range(1, tables):
+            edges[t - 1, t] = 0.4
+        graphs.append(FeatureGraph(f"g{i}", vertices, edges))
+        qerr = {0: [1.1, 3.0, 6.0], 1: [6.0, 1.1, 3.0], 2: [3.0, 6.0, 1.1]}[kind]
+        labels.append(DatasetLabel(MODELS, qerr, [0.001, 0.002, 0.003],
+                                   qerror_medians=[1.0, 2.0, 3.0],
+                                   qerror_p95=[2.0, 5.0, 9.0],
+                                   qerror_p99=[3.0, 8.0, 12.0]))
+    return graphs, labels
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    graphs, labels = tiny_corpus()
+    config = AutoCEConfig(hidden_dim=16, embedding_dim=8,
+                          dml=DMLConfig(epochs=8, batch_size=6, seed=0),
+                          use_incremental=False, seed=0)
+    advisor = AutoCE(config)
+    advisor.fit_graphs(graphs, labels)
+    return advisor, graphs, labels
+
+
+class TestRoundTrip:
+    def test_recommendations_identical(self, fitted, tmp_path):
+        advisor, graphs, _ = fitted
+        path = str(tmp_path / "advisor.npz")
+        save_advisor(advisor, path)
+        reloaded = load_advisor(path)
+        for graph in graphs:
+            for w in (1.0, 0.7, 0.3):
+                a = advisor.recommend(graph, w)
+                b = reloaded.recommend(graph, w)
+                assert a.model == b.model
+                np.testing.assert_allclose(a.score_vector, b.score_vector)
+
+    def test_embeddings_identical(self, fitted, tmp_path):
+        advisor, graphs, _ = fitted
+        path = str(tmp_path / "advisor.npz")
+        save_advisor(advisor, path)
+        reloaded = load_advisor(path)
+        np.testing.assert_allclose(reloaded.embed(graphs[0]),
+                                   advisor.embed(graphs[0]), rtol=1e-12)
+        np.testing.assert_allclose(reloaded.rcs.embeddings,
+                                   advisor.rcs.embeddings, rtol=1e-12)
+
+    def test_config_round_trips(self, fitted, tmp_path):
+        advisor, _, _ = fitted
+        path = str(tmp_path / "advisor.npz")
+        save_advisor(advisor, path)
+        reloaded = load_advisor(path)
+        assert reloaded.config == advisor.config
+
+    def test_labels_keep_raw_statistics(self, fitted, tmp_path):
+        advisor, _, labels = fitted
+        path = str(tmp_path / "advisor.npz")
+        save_advisor(advisor, path)
+        reloaded = load_advisor(path)
+        original, restored = labels[0], reloaded._labels[0]
+        assert isinstance(restored, DatasetLabel)
+        np.testing.assert_allclose(restored.qerror_means, original.qerror_means)
+        np.testing.assert_allclose(restored.qerror_p99, original.qerror_p99)
+        # D-error and percentile re-normalization still work post-reload.
+        assert restored.d_error("A", 1.0) == original.d_error("A", 1.0)
+        assert (restored.with_accuracy_metric("p95").best_model(1.0)
+                == original.with_accuracy_metric("p95").best_model(1.0))
+
+    def test_drift_detection_survives_reload(self, fitted, tmp_path):
+        advisor, graphs, _ = fitted
+        path = str(tmp_path / "advisor.npz")
+        save_advisor(advisor, path)
+        reloaded = load_advisor(path)
+        far = FeatureGraph("far", np.full((2, graphs[0].vertex_dim), 50.0),
+                           np.zeros((2, 2)))
+        assert advisor.is_drifted(far) == reloaded.is_drifted(far)
+
+    def test_reloaded_advisor_can_adapt_online(self, fitted, tmp_path):
+        advisor, graphs, labels = fitted
+        path = str(tmp_path / "advisor.npz")
+        save_advisor(advisor, path)
+        reloaded = load_advisor(path)
+        size_before = len(reloaded.rcs)
+        reloaded.adapt_online(graphs[0], labels[0], update_epochs=1)
+        assert len(reloaded.rcs) == size_before + 1
+
+
+class TestErrors:
+    def test_unfitted_advisor_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unfitted"):
+            save_advisor(AutoCE(), str(tmp_path / "nope.npz"))
+
+    def test_version_mismatch_rejected(self, fitted, tmp_path):
+        advisor, _, _ = fitted
+        path = str(tmp_path / "advisor.npz")
+        save_advisor(advisor, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        metadata = json.loads(bytes(arrays["metadata"]).decode("utf-8"))
+        metadata["format_version"] = FORMAT_VERSION + 999
+        arrays["metadata"] = np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="format version"):
+            load_advisor(path)
+
+
+class TestLabelPayloads:
+    def test_score_label_round_trip(self):
+        label = ScoreLabel(MODELS, sa=[1.0, 0.5, 0.0], se=[0.0, 0.5, 1.0])
+        restored = _label_from_dict(_label_to_dict(label))
+        assert not isinstance(restored, DatasetLabel)
+        np.testing.assert_allclose(restored.sa, label.sa)
+        np.testing.assert_allclose(restored.se, label.se)
+
+    def test_dataset_label_with_missing_optionals(self):
+        label = DatasetLabel(MODELS, [1, 2, 3], [0.1, 0.2, 0.3])
+        restored = _label_from_dict(_label_to_dict(label))
+        assert isinstance(restored, DatasetLabel)
+        assert restored.qerror_p95 is None
+        np.testing.assert_allclose(restored.qerror_means, [1, 2, 3])

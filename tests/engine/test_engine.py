@@ -1,0 +1,169 @@
+"""The PostgreSQL substitute: cost model, optimizer, executor, E2E harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.counting import count_join
+from repro.engine.cost import CostModel
+from repro.engine.e2e import TrueCardEstimator, run_e2e
+from repro.engine.execution import Executor
+from repro.engine.optimizer import Optimizer
+from repro.engine.plans import JoinNode, ScanNode, plan_joins
+from repro.workload.generator import generate_query, generate_workload
+from repro.workload.query import Predicate, Query
+
+
+class TestCostModel:
+    def test_selective_prefers_index(self):
+        cost = CostModel()
+        method, _ = cost.best_scan(table_rows=100_000, output_rows=5)
+        assert method == "index"
+
+    def test_unselective_prefers_seq(self):
+        cost = CostModel()
+        method, _ = cost.best_scan(table_rows=1000, output_rows=900)
+        assert method == "seq"
+
+    def test_index_nl_beats_hash_for_small_outer(self):
+        cost = CostModel()
+        nl = cost.index_nl_join(left_rows=10, output_rows=10)
+        hash_ = cost.hash_join(left_rows=10, right_rows=100_000,
+                               output_rows=10)
+        assert nl < hash_
+
+
+class TestOptimizer:
+    def test_single_table_plan(self, small_dataset, small_workload):
+        query = next(q for q in small_workload.test if len(q.tables) == 1)
+        opt = Optimizer(small_dataset)
+        true = TrueCardEstimator(small_dataset)
+        planned = opt.plan(query, true.estimate)
+        assert isinstance(planned.plan, ScanNode)
+        assert planned.estimator_calls == 1
+
+    def test_multi_table_plan_covers_all_tables(self, small_dataset,
+                                                small_workload):
+        query = max(small_workload.test, key=lambda q: len(q.tables))
+        opt = Optimizer(small_dataset)
+        true = TrueCardEstimator(small_dataset)
+        planned = opt.plan(query, true.estimate)
+        assert set(planned.plan.tables) == set(query.tables)
+
+    def test_estimator_calls_cached_per_subset(self, small_dataset,
+                                               small_workload):
+        query = max(small_workload.test, key=lambda q: len(q.tables))
+        opt = Optimizer(small_dataset)
+        calls = []
+
+        def estimator(sub):
+            calls.append(sub.template)
+            return 10.0
+
+        opt.plan(query, estimator)
+        assert len(calls) == len(set(calls))  # no duplicate estimates
+
+    def test_unjoinable_rejected(self, small_dataset):
+        # Construct a disconnected pair if the schema has one.
+        names = sorted(small_dataset.table_names)
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                pair = (names[i], names[j])
+                if not small_dataset.is_connected_subset(pair):
+                    opt = Optimizer(small_dataset)
+                    with pytest.raises(ValueError):
+                        opt.plan(Query(pair), lambda q: 1.0)
+                    return
+        pytest.skip("schema fully connected")
+
+    def test_plan_describe_renders(self, small_dataset, small_workload):
+        query = max(small_workload.test, key=lambda q: len(q.tables))
+        planned = Optimizer(small_dataset).plan(
+            query, TrueCardEstimator(small_dataset).estimate)
+        text = planned.plan.describe()
+        for table in query.tables:
+            assert table in text
+
+    def test_plan_joins_enumeration(self, small_dataset, small_workload):
+        query = max(small_workload.test, key=lambda q: len(q.tables))
+        planned = Optimizer(small_dataset).plan(
+            query, TrueCardEstimator(small_dataset).estimate)
+        joins = plan_joins(planned.plan)
+        assert len(joins) == len(query.tables) - 1
+
+
+class TestExecutor:
+    def test_rows_match_exact_count(self, small_dataset, small_workload):
+        opt = Optimizer(small_dataset)
+        executor = Executor(small_dataset)
+        true = TrueCardEstimator(small_dataset)
+        for query in small_workload.test:
+            planned = opt.plan(query, true.estimate)
+            result = executor.execute(planned.plan)
+            expected = count_join(small_dataset, query.tables,
+                                  query.predicate_tuples())
+            assert result.rows == expected
+
+    def test_rows_invariant_to_estimator(self, small_dataset, small_workload):
+        """Any estimate quality must yield the same answer, only other speed."""
+        opt = Optimizer(small_dataset)
+        executor = Executor(small_dataset)
+        query = max(small_workload.test, key=lambda q: len(q.tables))
+        plans = [
+            opt.plan(query, lambda q: 1.0).plan,
+            opt.plan(query, lambda q: 1e9).plan,
+            opt.plan(query, TrueCardEstimator(small_dataset).estimate).plan,
+        ]
+        rows = {executor.execute(p).rows for p in plans}
+        assert len(rows) == 1
+
+    def test_index_and_seq_scan_agree(self, small_dataset):
+        table = small_dataset.table_names[0]
+        col = small_dataset[table].data_columns()[0]
+        preds = (Predicate(table, col, 2, 6),)
+        executor = Executor(small_dataset)
+        seq = executor.execute(ScanNode(table, preds, "seq"))
+        index = executor.execute(ScanNode(table, preds, "index"))
+        assert seq.rows == index.rows
+
+    def test_empty_result(self, small_dataset):
+        table = small_dataset.table_names[0]
+        col = small_dataset[table].data_columns()[0]
+        hi = int(small_dataset[table][col].max())
+        preds = (Predicate(table, col, hi + 10, hi + 20),)
+        result = Executor(small_dataset).execute(ScanNode(table, preds, "seq"))
+        assert result.rows == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_random_queries_exact(self, small_dataset, seed):
+        rng = np.random.default_rng(seed)
+        templates = small_dataset.connected_subsets()
+        query = generate_query(small_dataset, rng, templates)
+        planned = Optimizer(small_dataset).plan(
+            query, TrueCardEstimator(small_dataset).estimate)
+        result = Executor(small_dataset).execute(planned.plan)
+        assert result.rows == count_join(small_dataset, query.tables,
+                                         query.predicate_tuples())
+
+
+class TestE2E:
+    def test_truecard_has_zero_inference(self, small_dataset, small_workload):
+        result = run_e2e(small_dataset, small_workload.test[:5],
+                         TrueCardEstimator(small_dataset))
+        assert result.inference_time == 0.0
+        assert result.execution_time > 0.0
+        assert result.queries == 5
+
+    def test_model_inference_time_recorded(self, small_dataset,
+                                           small_workload, small_ctx):
+        from repro.ce.postgres import PostgresEstimator
+        model = PostgresEstimator()
+        model.fit(small_ctx)
+        result = run_e2e(small_dataset, small_workload.test[:5], model)
+        assert result.inference_time > 0.0
+        assert result.total_time == pytest.approx(
+            result.execution_time + result.inference_time)

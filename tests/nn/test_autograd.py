@@ -1,0 +1,295 @@
+"""Gradient correctness of the autodiff engine, checked against finite
+differences, plus graph-mechanics tests (accumulation, no_grad, freeing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn.autograd import Tensor, _unbroadcast
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued fn."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    g = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        down = fn(x)
+        flat[i] = orig
+        g[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, x: np.ndarray, atol: float = 1e-5):
+    tensor = Tensor(x.copy(), requires_grad=True)
+    out = build(tensor)
+    out.backward()
+    expected = numeric_grad(lambda v: float(build(Tensor(v)).numpy()), x.copy())
+    np.testing.assert_allclose(tensor.grad, expected, atol=atol, rtol=1e-4)
+
+
+class TestElementwiseGradients:
+    def test_add(self, rng):
+        check_gradient(lambda t: (t + 3.0).sum(), rng.normal(size=(3, 4)))
+
+    def test_sub(self, rng):
+        check_gradient(lambda t: (5.0 - t).sum(), rng.normal(size=(3, 4)))
+
+    def test_mul(self, rng):
+        other = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (t * other).sum(), rng.normal(size=(3, 4)))
+
+    def test_div(self, rng):
+        denom = rng.normal(size=(3, 4)) + 5.0
+        check_gradient(lambda t: (t / denom).sum(), rng.normal(size=(3, 4)))
+
+    def test_rdiv(self, rng):
+        check_gradient(lambda t: (2.0 / t).sum(), rng.uniform(1.0, 2.0, (3,)))
+
+    def test_pow(self, rng):
+        check_gradient(lambda t: (t ** 3).sum(), rng.normal(size=(4,)))
+
+    def test_neg(self, rng):
+        check_gradient(lambda t: (-t).sum(), rng.normal(size=(4,)))
+
+    def test_exp(self, rng):
+        check_gradient(lambda t: t.exp().sum(), rng.normal(size=(3,)))
+
+    def test_log(self, rng):
+        check_gradient(lambda t: t.log().sum(), rng.uniform(0.5, 2.0, (3,)))
+
+    def test_sqrt(self, rng):
+        check_gradient(lambda t: t.sqrt().sum(), rng.uniform(0.5, 2.0, (3,)))
+
+    def test_relu(self, rng):
+        x = rng.normal(size=(10,))
+        x[np.abs(x) < 0.05] = 0.5  # avoid the kink
+        check_gradient(lambda t: t.relu().sum(), x)
+
+    def test_leaky_relu(self, rng):
+        x = rng.normal(size=(10,))
+        x[np.abs(x) < 0.05] = 0.5
+        check_gradient(lambda t: t.leaky_relu(0.1).sum(), x)
+
+    def test_sigmoid(self, rng):
+        check_gradient(lambda t: t.sigmoid().sum(), rng.normal(size=(5,)))
+
+    def test_tanh(self, rng):
+        check_gradient(lambda t: t.tanh().sum(), rng.normal(size=(5,)))
+
+    def test_abs(self, rng):
+        x = rng.normal(size=(6,))
+        x[np.abs(x) < 0.05] = 0.3
+        check_gradient(lambda t: t.abs().sum(), x)
+
+    def test_clip(self, rng):
+        x = rng.normal(size=(8,)) * 2
+        x[np.abs(np.abs(x) - 1.0) < 0.05] = 0.0
+        check_gradient(lambda t: t.clip(-1.0, 1.0).sum(), x)
+
+
+class TestReductionsAndShaping:
+    def test_sum_axis(self, rng):
+        check_gradient(lambda t: (t.sum(axis=0) ** 2).sum(),
+                       rng.normal(size=(3, 4)))
+
+    def test_sum_keepdims(self, rng):
+        check_gradient(lambda t: (t.sum(axis=1, keepdims=True) * 2.0).sum(),
+                       rng.normal(size=(3, 4)))
+
+    def test_mean(self, rng):
+        check_gradient(lambda t: (t.mean(axis=1) ** 2).sum(),
+                       rng.normal(size=(3, 4)))
+
+    def test_max(self, rng):
+        x = rng.normal(size=(3, 4))
+        check_gradient(lambda t: t.max(axis=1).sum(), x)
+
+    def test_reshape(self, rng):
+        check_gradient(lambda t: (t.reshape(2, 6) ** 2).sum(),
+                       rng.normal(size=(3, 4)))
+
+    def test_transpose(self, rng):
+        other = rng.normal(size=(4, 3))
+        check_gradient(lambda t: (t.T * other).sum(), rng.normal(size=(3, 4)))
+
+    def test_getitem(self, rng):
+        check_gradient(lambda t: (t[1:, :2] ** 2).sum(), rng.normal(size=(3, 4)))
+
+    def test_getitem_fancy(self, rng):
+        rows = np.array([0, 2, 2])
+        check_gradient(lambda t: t[rows].sum(), rng.normal(size=(3, 4)))
+
+    def test_logsumexp(self, rng):
+        check_gradient(lambda t: t.logsumexp(axis=1).sum(),
+                       rng.normal(size=(3, 4)))
+
+    def test_logsumexp_all(self, rng):
+        check_gradient(lambda t: t.logsumexp(), rng.normal(size=(3, 4)))
+
+    def test_softmax(self, rng):
+        w = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (t.softmax(axis=1) * w).sum(),
+                       rng.normal(size=(3, 4)))
+
+    def test_log_softmax(self, rng):
+        w = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (t.log_softmax(axis=1) * w).sum(),
+                       rng.normal(size=(3, 4)))
+
+
+class TestMatmul:
+    def test_2d_2d_left(self, rng):
+        b = rng.normal(size=(4, 2))
+        check_gradient(lambda t: (t @ b).sum(), rng.normal(size=(3, 4)))
+
+    def test_2d_2d_right(self, rng):
+        a = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (Tensor(a) @ t).sum(), rng.normal(size=(4, 2)))
+
+    def test_batched_3d_2d(self, rng):
+        w = rng.normal(size=(4, 2))
+        check_gradient(lambda t: (t @ w).sum(), rng.normal(size=(2, 3, 4)))
+
+    def test_batched_3d_2d_weight_grad(self, rng):
+        x = rng.normal(size=(2, 3, 4))
+        check_gradient(lambda t: (Tensor(x) @ t).sum(), rng.normal(size=(4, 2)))
+
+    def test_batched_3d_3d(self, rng):
+        b = rng.normal(size=(2, 4, 3))
+        check_gradient(lambda t: (t @ b).sum(), rng.normal(size=(2, 3, 4)))
+
+    def test_vec_mat(self, rng):
+        m = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (t @ m).sum(), rng.normal(size=(3,)))
+
+    def test_mat_vec(self, rng):
+        v = rng.normal(size=(4,))
+        check_gradient(lambda t: (t @ v).sum(), rng.normal(size=(3, 4)))
+
+
+class TestBroadcasting:
+    def test_add_broadcast_bias(self, rng):
+        x = rng.normal(size=(5, 3))
+        check_gradient(lambda t: ((Tensor(x) + t) ** 2).sum(),
+                       rng.normal(size=(3,)))
+
+    def test_mul_broadcast_row(self, rng):
+        x = rng.normal(size=(5, 3))
+        check_gradient(lambda t: (Tensor(x) * t).sum(),
+                       rng.normal(size=(1, 3)))
+
+    def test_unbroadcast_shapes(self):
+        grad = np.ones((5, 3))
+        assert _unbroadcast(grad, (3,)).shape == (3,)
+        assert _unbroadcast(grad, (1, 3)).shape == (1, 3)
+        assert _unbroadcast(grad, (5, 3)).shape == (5, 3)
+        np.testing.assert_allclose(_unbroadcast(grad, (3,)), [5, 5, 5])
+
+
+class TestHelpers:
+    def test_concatenate_gradient(self, rng):
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(2, 2))
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        out = nn.concatenate([ta, tb], axis=1)
+        (out * 2.0).sum().backward()
+        np.testing.assert_allclose(ta.grad, np.full((2, 3), 2.0))
+        np.testing.assert_allclose(tb.grad, np.full((2, 2), 2.0))
+
+    def test_stack_gradient(self, rng):
+        tensors = [Tensor(rng.normal(size=(3,)), requires_grad=True)
+                   for _ in range(4)]
+        out = nn.stack(tensors, axis=0)
+        out.sum().backward()
+        for t in tensors:
+            np.testing.assert_allclose(t.grad, np.ones(3))
+
+    def test_where_gradient(self, rng):
+        cond = np.array([True, False, True])
+        a = Tensor(rng.normal(size=3), requires_grad=True)
+        b = Tensor(rng.normal(size=3), requires_grad=True)
+        nn.where(cond, a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 0, 1])
+        np.testing.assert_allclose(b.grad, [0, 1, 0])
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_on_reuse(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x * 3.0  # dy/dx = 2x + 3 = 7
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_backward_twice_accumulates(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0, 4.0])
+
+    def test_zero_grad(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        with nn.no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_no_grad_nesting_restores(self):
+        from repro.nn.autograd import is_grad_enabled
+        assert is_grad_enabled()
+        with nn.no_grad():
+            assert not is_grad_enabled()
+            with nn.no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_on_non_grad_raises(self):
+        x = Tensor(np.ones(2))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_detach(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        assert not x.detach().requires_grad
+
+    def test_float32_input_upcast(self):
+        x = Tensor(np.ones(2, dtype=np.float32))
+        assert x.data.dtype == np.float64
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(-3.0, 3.0), min_size=2, max_size=8))
+def test_logsumexp_matches_numpy(values):
+    x = np.array(values)
+    t = Tensor(x)
+    expected = np.log(np.sum(np.exp(x - x.max()))) + x.max()
+    np.testing.assert_allclose(float(t.logsumexp().numpy()), expected, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(-5.0, 5.0), min_size=2, max_size=8))
+def test_softmax_is_distribution(values):
+    t = Tensor(np.array([values]))
+    probs = t.softmax(axis=1).numpy()
+    assert np.all(probs >= 0)
+    np.testing.assert_allclose(probs.sum(), 1.0, atol=1e-9)

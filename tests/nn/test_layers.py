@@ -1,0 +1,119 @@
+"""Module mechanics: parameter tracking, masking, MLP behavior."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+@pytest.fixture
+def gen():
+    return np.random.default_rng(0)
+
+
+class TestLinear:
+    def test_forward_shape(self, gen):
+        layer = nn.Linear(4, 3, gen)
+        out = layer(nn.Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_batched_3d_input(self, gen):
+        layer = nn.Linear(4, 3, gen)
+        out = layer(nn.Tensor(np.ones((2, 5, 4))))
+        assert out.shape == (2, 5, 3)
+
+    def test_no_bias(self, gen):
+        layer = nn.Linear(4, 3, gen, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_parameters_tracked(self, gen):
+        layer = nn.Linear(4, 3, gen)
+        assert len(layer.parameters()) == 2
+
+
+class TestMaskedLinear:
+    def test_mask_blocks_connection(self, gen):
+        mask = np.zeros((3, 2))
+        mask[0, :] = 1.0  # only input 0 connects
+        layer = nn.MaskedLinear(3, 2, gen, mask)
+        x1 = np.array([[1.0, 0.0, 0.0]])
+        x2 = np.array([[1.0, 9.0, -7.0]])
+        out1 = layer(nn.Tensor(x1)).numpy()
+        out2 = layer(nn.Tensor(x2)).numpy()
+        np.testing.assert_allclose(out1, out2)
+
+    def test_mask_shape_validation(self, gen):
+        with pytest.raises(ValueError):
+            nn.MaskedLinear(3, 2, gen, np.ones((2, 3)))
+
+    def test_masked_gradient_stays_masked(self, gen):
+        mask = np.zeros((3, 2))
+        mask[0, :] = 1.0
+        layer = nn.MaskedLinear(3, 2, gen, mask)
+        out = layer(nn.Tensor(np.ones((4, 3))))
+        out.sum().backward()
+        # Gradient through a masked weight is zero.
+        assert np.all(layer.weight.grad[1:, :] == 0)
+
+
+class TestModule:
+    def test_nested_parameters(self, gen):
+        mlp = nn.MLP([4, 8, 2], gen)
+        assert len(mlp.parameters()) == 4  # 2 layers × (W, b)
+
+    def test_train_eval_propagates(self, gen):
+        seq = nn.Sequential(nn.Linear(2, 2, gen), nn.ReLU())
+        seq.eval()
+        assert not seq.steps[0].training
+        seq.train()
+        assert seq.steps[0].training
+
+    def test_state_dict_roundtrip(self, gen):
+        mlp = nn.MLP([3, 5, 2], gen)
+        state = mlp.state_dict()
+        mlp2 = nn.MLP([3, 5, 2], np.random.default_rng(99))
+        mlp2.load_state_dict(state)
+        x = np.random.default_rng(1).normal(size=(4, 3))
+        np.testing.assert_allclose(mlp(nn.Tensor(x)).numpy(),
+                                   mlp2(nn.Tensor(x)).numpy())
+
+    def test_num_parameters(self, gen):
+        mlp = nn.MLP([3, 5, 2], gen)
+        assert mlp.num_parameters() == 3 * 5 + 5 + 5 * 2 + 2
+
+    def test_zero_grad_clears(self, gen):
+        mlp = nn.MLP([3, 2], gen)
+        out = mlp(nn.Tensor(np.ones((1, 3))))
+        out.sum().backward()
+        assert mlp.layers[0].weight.grad is not None
+        mlp.zero_grad()
+        assert mlp.layers[0].weight.grad is None
+
+
+class TestMLP:
+    def test_needs_two_sizes(self, gen):
+        with pytest.raises(ValueError):
+            nn.MLP([3], gen)
+
+    def test_output_activation_sigmoid_bounds(self, gen):
+        mlp = nn.MLP([3, 4, 1], gen, output_activation="sigmoid")
+        out = mlp(nn.Tensor(np.random.default_rng(0).normal(size=(10, 3))))
+        assert np.all(out.numpy() > 0) and np.all(out.numpy() < 1)
+
+    def test_unknown_activation(self, gen):
+        mlp = nn.MLP([3, 4, 2], gen, activation="bogus")
+        with pytest.raises(ValueError):
+            mlp(nn.Tensor(np.ones((1, 3))))
+
+    def test_tanh_activation(self, gen):
+        mlp = nn.MLP([3, 4, 2], gen, activation="tanh")
+        assert mlp(nn.Tensor(np.ones((2, 3)))).shape == (2, 2)
+
+    def test_sequential_matches_manual(self, gen):
+        layer = nn.Linear(3, 2, gen)
+        seq = nn.Sequential(layer, nn.ReLU())
+        x = nn.Tensor(np.random.default_rng(2).normal(size=(4, 3)))
+        np.testing.assert_allclose(seq(x).numpy(), layer(x).relu().numpy())

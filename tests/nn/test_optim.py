@@ -1,0 +1,108 @@
+"""Optimizers: convergence on convex problems, state handling, clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.autograd import Tensor
+
+
+def quadratic_steps(optimizer_factory, steps: int = 200) -> float:
+    x = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+    optimizer = optimizer_factory([x])
+    for _ in range(steps):
+        loss = (x * x).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return float((x.data ** 2).sum())
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        assert quadratic_steps(lambda p: nn.SGD(p, lr=0.1)) < 1e-6
+
+    def test_momentum_converges(self):
+        assert quadratic_steps(lambda p: nn.SGD(p, lr=0.05, momentum=0.9)) < 1e-6
+
+    def test_weight_decay_shrinks(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        opt = nn.SGD([x], lr=0.1, weight_decay=1.0)
+        loss = (x * 0.0).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        assert abs(x.data[0]) < 1.0
+
+    def test_skips_missing_grad(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        nn.SGD([x], lr=0.1).step()  # no grad yet: must not crash
+        np.testing.assert_allclose(x.data, [1.0])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        assert quadratic_steps(lambda p: nn.Adam(p, lr=0.1), steps=400) < 1e-6
+
+    def test_bias_correction_first_step(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        opt = nn.Adam([x], lr=0.1)
+        (x * 2.0).sum().backward()
+        opt.step()
+        # First Adam step magnitude ≈ lr regardless of gradient scale.
+        np.testing.assert_allclose(x.data, [0.9], atol=1e-6)
+
+    def test_only_requires_grad_params(self):
+        frozen = Tensor(np.array([1.0]))
+        live = Tensor(np.array([1.0]), requires_grad=True)
+        opt = nn.Adam([frozen, live], lr=0.1)
+        assert len(opt.params) == 1
+
+    def test_weight_decay(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        opt = nn.Adam([x], lr=0.01, weight_decay=0.5)
+        loss = (x * 0.0).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        assert x.data[0] < 2.0
+
+
+class TestClipGradNorm:
+    def test_clips_large(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        x.grad = np.array([3.0, 4.0, 0.0])
+        norm = nn.clip_grad_norm([x], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(np.linalg.norm(x.grad), 1.0, atol=1e-9)
+
+    def test_leaves_small(self):
+        x = Tensor(np.zeros(2), requires_grad=True)
+        x.grad = np.array([0.3, 0.4])
+        nn.clip_grad_norm([x], max_norm=1.0)
+        np.testing.assert_allclose(x.grad, [0.3, 0.4])
+
+    def test_handles_none_grad(self):
+        x = Tensor(np.zeros(2), requires_grad=True)
+        assert nn.clip_grad_norm([x], max_norm=1.0) == 0.0
+
+
+class TestTraining:
+    def test_mlp_learns_xor_ish(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(200, 2))
+        y = ((x[:, 0] * x[:, 1]) > 0).astype(np.float64).reshape(-1, 1)
+        mlp = nn.MLP([2, 16, 1], rng, output_activation="sigmoid")
+        opt = nn.Adam(mlp.parameters(), lr=0.02)
+        first = None
+        for _ in range(300):
+            pred = mlp(nn.Tensor(x))
+            loss = nn.mse_loss(pred, y)
+            if first is None:
+                first = loss.item()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.5

@@ -1,0 +1,114 @@
+"""Command-line interface: generate → label → train → recommend round trip."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import EXPERIMENTS, PRESETS, build_parser, main
+from repro.db.io import load_dataset, save_dataset
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_all_experiments_have_drivers(self):
+        import importlib
+        for name, (module_name, _) in EXPERIMENTS.items():
+            module = importlib.import_module(f"repro.experiments.{module_name}")
+            assert hasattr(module, "run"), name
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.seed is None
+        assert args.out == "dataset.npz"
+
+    def test_recommend_requires_advisor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recommend", "ds.npz"])
+
+
+class TestGenerate:
+    def test_random_dataset(self, tmp_path, capsys):
+        out = str(tmp_path / "ds.npz")
+        assert main(["generate", "--seed", "5", "--out", out]) == 0
+        dataset = load_dataset(out)
+        assert len(dataset.tables) >= 1
+        assert "wrote" in capsys.readouterr().out
+
+    def test_preset_dataset(self, tmp_path, capsys):
+        out = str(tmp_path / "imdb.npz")
+        assert main(["generate", "--preset", "imdb-light", "--out", out]) == 0
+        dataset = load_dataset(out)
+        assert len(dataset.tables) == 6  # Table I: IMDB-light has 6 tables
+
+    def test_generate_is_deterministic(self, tmp_path):
+        a, b = str(tmp_path / "a.npz"), str(tmp_path / "b.npz")
+        main(["generate", "--seed", "9", "--out", a])
+        main(["generate", "--seed", "9", "--out", b])
+        da, db = load_dataset(a), load_dataset(b)
+        assert da.table_names == db.table_names
+        for name in da.table_names:
+            for col in da[name].column_names:
+                np.testing.assert_array_equal(da[name][col], db[name][col])
+
+    def test_all_presets_generate(self, tmp_path):
+        for preset in PRESETS:
+            out = str(tmp_path / f"{preset}.npz")
+            assert main(["generate", "--preset", preset, "--out", out]) == 0
+
+
+class TestLabelAndRecommend:
+    @pytest.fixture(scope="class")
+    def dataset_file(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("cli") / "ds.npz")
+        main(["generate", "--seed", "3", "--out", path])
+        return path
+
+    @pytest.fixture(scope="class")
+    def advisor_file(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("cli_train")
+        advisor = str(tmp / "advisor.npz")
+        cache = str(tmp / "cache")
+        code = main(["train", "--corpus", "8", "--fast", "--out", advisor,
+                     "--cache", cache])
+        assert code == 0
+        return advisor
+
+    def test_label_prints_model_table(self, dataset_file, capsys):
+        assert main(["label", dataset_file, "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "best model:" in out
+        for model in ("BayesCard", "DeepDB", "MSCN", "LW-NN"):
+            assert model in out
+
+    def test_label_percentile_metric(self, dataset_file, capsys):
+        assert main(["label", dataset_file, "--fast", "--metric", "p95",
+                     "--weight", "0.5"]) == 0
+        assert "p95" in capsys.readouterr().out
+
+    def test_train_then_recommend(self, advisor_file, dataset_file, capsys):
+        code = main(["recommend", dataset_file, "--advisor", advisor_file,
+                     "--weight", "0.9"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recommended model:" in out
+        assert "ranking:" in out
+
+    def test_recommend_with_custom_k(self, advisor_file, dataset_file, capsys):
+        assert main(["recommend", dataset_file, "--advisor", advisor_file,
+                     "--k", "1"]) == 0
+        assert "recommended model:" in capsys.readouterr().out
+
+
+class TestModels:
+    def test_lists_registry(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "BayesCard" in out and "FLAT" in out

@@ -1,0 +1,151 @@
+"""Percentile accuracy metrics and the robust latency protocol.
+
+The paper (Sec. IV-B2) uses mean Q-error but notes that 50th/95th/99th
+percentiles are equally valid accuracy statistics; labels record all four
+and can be re-normalized on any of them.  Latency is measured as the
+per-query minimum over repetitions after a warm-up pass, so the efficiency
+half of a label is stable across labeling runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ce.base import CEModel, TrainingContext
+from repro.testbed.runner import TestbedConfig, evaluate_model, run_testbed
+from repro.testbed.scores import ACCURACY_METRICS, DatasetLabel, ScoreLabel
+
+
+def full_label():
+    return DatasetLabel(
+        model_names=("A", "B", "C"),
+        qerror_means=[1.5, 3.0, 6.0],
+        latency_means=[0.002, 0.001, 0.004],
+        qerror_medians=[1.2, 1.1, 4.0],
+        qerror_p95=[2.0, 9.0, 11.0],
+        qerror_p99=[2.5, 30.0, 12.0],
+    )
+
+
+class TestAccuracyStat:
+    def test_mean_is_default(self):
+        label = full_label()
+        np.testing.assert_allclose(label.accuracy_stat(), [1.5, 3.0, 6.0])
+
+    @pytest.mark.parametrize("metric,expected", [
+        ("median", [1.2, 1.1, 4.0]),
+        ("p95", [2.0, 9.0, 11.0]),
+        ("p99", [2.5, 30.0, 12.0]),
+    ])
+    def test_percentile_stats(self, metric, expected):
+        np.testing.assert_allclose(full_label().accuracy_stat(metric), expected)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown accuracy metric"):
+            full_label().accuracy_stat("p42")
+
+    def test_missing_statistic_rejected(self):
+        thin = DatasetLabel(model_names=("A", "B"), qerror_means=[1, 2],
+                            latency_means=[1, 2])
+        with pytest.raises(ValueError, match="without the 'p95' statistic"):
+            thin.accuracy_stat("p95")
+
+    def test_all_declared_metrics_supported(self):
+        label = full_label()
+        for metric in ACCURACY_METRICS:
+            assert len(label.accuracy_stat(metric)) == 3
+
+
+class TestWithAccuracyMetric:
+    def test_renormalizes_accuracy_only(self):
+        label = full_label()
+        p99 = label.with_accuracy_metric("p99")
+        assert isinstance(p99, ScoreLabel)
+        # Efficiency scores are untouched.
+        np.testing.assert_allclose(p99.se, label.se)
+        # Under p99, B (30.0) is the worst model, not C.
+        assert p99.sa[1] == pytest.approx(0.0)
+        assert p99.sa[0] == pytest.approx(1.0)
+
+    def test_can_flip_the_optimal_model(self):
+        label = full_label()
+        assert label.best_model(1.0) == "A"
+        # Under the median, B (1.1) is the most accurate model.
+        assert label.with_accuracy_metric("median").best_model(1.0) == "B"
+
+    def test_mean_metric_is_identity(self):
+        label = full_label()
+        same = label.with_accuracy_metric("mean")
+        np.testing.assert_allclose(same.sa, label.sa)
+        np.testing.assert_allclose(same.se, label.se)
+
+    @settings(max_examples=20, deadline=None)
+    @given(w=st.floats(0.0, 1.0))
+    def test_score_vectors_stay_bounded(self, w):
+        scores = full_label().with_accuracy_metric("p95").score_vector(w)
+        assert np.all(scores >= 0.0) and np.all(scores <= 1.0)
+
+
+class TestSubsetPreservesPercentiles:
+    def test_subset_carries_all_statistics(self):
+        sub = full_label().subset(["C", "A"])
+        np.testing.assert_allclose(sub.qerror_p95, [11.0, 2.0])
+        np.testing.assert_allclose(sub.qerror_p99, [12.0, 2.5])
+        np.testing.assert_allclose(sub.qerror_medians, [4.0, 1.2])
+
+    def test_subset_without_percentiles(self):
+        thin = DatasetLabel(model_names=("A", "B"), qerror_means=[1, 2],
+                            latency_means=[1, 2])
+        sub = thin.subset(["B"])
+        assert sub.qerror_p95 is None
+
+
+class _SleepyModel(CEModel):
+    """Deterministic estimator whose first estimate is artificially slow."""
+
+    name = "Sleepy"
+
+    def __init__(self):
+        self.calls = 0
+
+    def fit(self, ctx) -> None:
+        pass
+
+    def estimate(self, query) -> float:
+        import time
+        self.calls += 1
+        if self.calls == 1:
+            time.sleep(0.05)  # cold-start spike, e.g. a lazy template fit
+        return 42.0
+
+
+class TestRobustLatency:
+    def test_warmup_hides_cold_start(self, single_dataset, single_workload):
+        ctx = TrainingContext.build(single_dataset, single_workload)
+        perf = evaluate_model(_SleepyModel(), ctx, latency_reps=2, warmup=True)
+        # The 50 ms cold-start spike lands in the warm-up pass, not in the
+        # timed repetitions.
+        assert perf.latency_mean < 0.01
+
+    def test_no_warmup_pays_cold_start(self, single_dataset, single_workload):
+        ctx = TrainingContext.build(single_dataset, single_workload)
+        perf = evaluate_model(_SleepyModel(), ctx, latency_reps=1, warmup=False)
+        num_queries = len(single_workload.test)
+        assert perf.latency_mean > 0.04 / num_queries
+
+    def test_percentiles_recorded_by_testbed(self, single_dataset,
+                                             single_workload):
+        config = TestbedConfig(mscn_epochs=5, lwnn_epochs=5, made_epochs=2,
+                               latency_reps=1)
+        label = run_testbed(single_dataset, workload=single_workload,
+                            config=config)
+        for metric in ACCURACY_METRICS:
+            stats = label.accuracy_stat(metric)
+            assert len(stats) == len(label.model_names)
+            assert np.all(stats >= 1.0)
+        # p99 dominates p95 dominates the median.
+        assert np.all(label.qerror_p99 >= label.qerror_p95 - 1e-12)
+        assert np.all(label.qerror_p95 >= label.qerror_medians - 1e-12)

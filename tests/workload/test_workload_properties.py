@@ -1,0 +1,135 @@
+"""Property-based tests of workload generation and query encodings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.counting import count_join
+from repro.workload.encoding import QueryEncoder
+from repro.workload.generator import generate_query, generate_workload
+from repro.workload.query import Predicate, Query
+
+
+@pytest.fixture(scope="module")
+def encoder(small_dataset):
+    return QueryEncoder(small_dataset)
+
+
+class TestGeneratorInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_queries_are_well_formed(self, small_dataset, seed):
+        rng = np.random.default_rng(seed)
+        templates = small_dataset.connected_subsets()
+        query = generate_query(small_dataset, rng, templates)
+        # Template is connected, predicates reference real columns within
+        # the column's actual min/max.
+        assert small_dataset.is_connected_subset(query.tables)
+        for pred in query.predicates:
+            values = small_dataset[pred.table][pred.column]
+            assert pred.lo >= int(values.min())
+            assert pred.hi <= int(values.max())
+            assert pred.lo <= pred.hi
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_predicates_only_on_data_columns(self, small_dataset, seed):
+        rng = np.random.default_rng(seed)
+        templates = small_dataset.connected_subsets()
+        query = generate_query(small_dataset, rng, templates)
+        for pred in query.predicates:
+            data_cols = small_dataset[pred.table].data_columns()
+            assert pred.column in data_cols
+
+    def test_workload_cardinalities_are_exact(self, small_dataset):
+        workload = generate_workload(small_dataset, num_train=10, num_test=5,
+                                     seed=11)
+        for query in workload.train + workload.test:
+            recount = count_join(small_dataset, query.tables,
+                                 query.predicate_tuples())
+            assert query.true_cardinality == recount
+
+    def test_workload_is_deterministic(self, small_dataset):
+        a = generate_workload(small_dataset, num_train=8, num_test=4, seed=5)
+        b = generate_workload(small_dataset, num_train=8, num_test=4, seed=5)
+        assert [q.predicate_tuples() for q in a.train] == \
+            [q.predicate_tuples() for q in b.train]
+
+    def test_train_test_sizes(self, small_dataset):
+        workload = generate_workload(small_dataset, num_train=12, num_test=7,
+                                     seed=2)
+        assert len(workload.train) == 12
+        assert len(workload.test) == 7
+
+    def test_templates_cover_train_and_test(self, small_dataset):
+        workload = generate_workload(small_dataset, num_train=20, num_test=10,
+                                     seed=3)
+        templates = set(workload.templates)
+        for query in workload.train + workload.test:
+            assert query.template in templates
+
+
+class TestPredicateSemantics:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_adding_predicates_never_increases_cardinality(self,
+                                                           small_dataset,
+                                                           seed):
+        rng = np.random.default_rng(seed)
+        templates = small_dataset.connected_subsets()
+        query = generate_query(small_dataset, rng, templates)
+        if not query.predicates:
+            return
+        base = Query(query.tables, query.predicates[:-1])
+        full_count = count_join(small_dataset, query.tables,
+                                query.predicate_tuples())
+        base_count = count_join(small_dataset, base.tables,
+                                base.predicate_tuples())
+        assert full_count <= base_count
+
+    def test_sql_rendering_round_trip_facts(self, small_dataset):
+        table = small_dataset.table_names[0]
+        column = small_dataset[table].data_columns()[0]
+        query = Query((table,), (Predicate(table, column, 3, 9),))
+        sql = query.sql()
+        assert f"FROM {table}" in sql
+        assert f"{table}.{column} BETWEEN 3 AND 9" in sql
+
+
+class TestEncodings:
+    def test_flat_dim_matches_vector(self, small_dataset, encoder):
+        workload = generate_workload(small_dataset, num_train=4, num_test=2,
+                                     seed=1)
+        vec = encoder.encode_flat(workload.train[0])
+        assert vec.shape == (encoder.flat_dim,)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_flat_encoding_bounded(self, small_dataset, encoder, seed):
+        rng = np.random.default_rng(seed)
+        templates = small_dataset.connected_subsets()
+        query = generate_query(small_dataset, rng, templates)
+        vec = encoder.encode_flat(query)
+        assert np.all(vec >= 0.0) and np.all(vec <= 1.0)
+
+    def test_flat_encoding_distinguishes_ranges(self, small_dataset, encoder):
+        table = small_dataset.table_names[0]
+        column = small_dataset[table].data_columns()[0]
+        values = small_dataset[table][column]
+        lo, hi = int(values.min()), int(values.max())
+        if hi - lo < 2:
+            pytest.skip("degenerate column domain")
+        narrow = Query((table,), (Predicate(table, column, lo, lo),))
+        wide = Query((table,), (Predicate(table, column, lo, hi),))
+        assert not np.allclose(encoder.encode_flat(narrow),
+                               encoder.encode_flat(wide))
+
+    def test_same_query_same_encoding(self, small_dataset, encoder):
+        rng = np.random.default_rng(0)
+        templates = small_dataset.connected_subsets()
+        query = generate_query(small_dataset, rng, templates)
+        np.testing.assert_array_equal(encoder.encode_flat(query),
+                                      encoder.encode_flat(query))
