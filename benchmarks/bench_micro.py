@@ -2,7 +2,12 @@
 
 These exercise the operations whose latency the paper cares about —
 AutoCE's inference path (featurize → GIN embed → KNN), exact true-card
-counting, and the per-query estimation cost of representative CE models.
+counting, and the per-query estimation cost of representative CE models —
+plus the throughput benches of the vectorized fast path (corpus
+featurization, one DML epoch over the corpus tensor cache, and batched
+serving).  ``benchmarks/run_benchmarks.py`` runs the before/after
+comparison against the scalar reference paths and emits
+``results/BENCH_micro.json``.
 """
 
 from __future__ import annotations
@@ -13,6 +18,9 @@ import pytest
 from repro.ce.base import TrainingContext
 from repro.ce.lwnn import LWNN, LWNNConfig
 from repro.ce.neurocard import NeuroCard, NeuroCardConfig
+from repro.core.advisor import AutoCE, AutoCEConfig
+from repro.core.dml import DMLConfig, DMLTrainer
+from repro.core.encoder import GINEncoder
 from repro.core.graph import build_feature_graph
 from repro.datagen.multi_table import generate_dataset
 from repro.datagen.spec import random_spec
@@ -75,3 +83,43 @@ def test_bench_gin_embedding(benchmark, suite, dataset):
     graph = advisor.featurize(dataset)
     embedding = benchmark(advisor.encoder.embed_one, graph)
     assert embedding.shape == (advisor.config.embedding_dim,)
+
+
+# ----------------------------------------------------------------------
+# Fast-path throughput benches
+# ----------------------------------------------------------------------
+
+from synth import MODELS, synthetic_corpus as _synthetic_corpus  # noqa: E402
+
+@pytest.fixture(scope="module")
+def corpus_datasets():
+    return [generate_dataset(random_spec(1000 + i, ranges={"num_tables": (2, 4)}))
+            for i in range(20)]
+
+
+def test_bench_featurize_corpus(benchmark, corpus_datasets):
+    """Vectorized featurization of a 20-dataset corpus."""
+    graphs = benchmark(lambda: [build_feature_graph(d) for d in corpus_datasets])
+    assert len(graphs) == len(corpus_datasets)
+
+
+def test_bench_dml_epoch(benchmark):
+    """One DML epoch at batch_size=32 over the corpus tensor cache."""
+    graphs, labels = _synthetic_corpus(96)
+    encoder = GINEncoder(graphs[0].vertex_dim, hidden_dim=64,
+                         embedding_dim=32, seed=0)
+    trainer = DMLTrainer(encoder, DMLConfig(batch_size=32, seed=0))
+    benchmark(trainer.train, graphs, labels, 1)
+
+
+def test_bench_recommend_batch(benchmark):
+    """Batched serving of 100 repeat-traffic queries in one call."""
+    graphs, labels = _synthetic_corpus(64)
+    advisor = AutoCE(AutoCEConfig(
+        hidden_dim=32, embedding_dim=16, use_incremental=False,
+        dml=DMLConfig(epochs=2, batch_size=32), seed=0))
+    advisor.fit(graphs, labels)
+    rng = np.random.default_rng(7)
+    queries = [graphs[i] for i in rng.integers(0, len(graphs), size=100)]
+    recs = benchmark(advisor.recommend_batch, queries, 0.9)
+    assert len(recs) == 100 and all(r.model in MODELS for r in recs)

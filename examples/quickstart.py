@@ -44,6 +44,19 @@ def main() -> None:
         ranking = ", ".join(f"{m}={s:.2f}" for m, s in rec.ranking()[:3])
         print(f"  w_a={accuracy_weight:>3}: use {rec.model:10s} (top-3: {ranking})")
 
+    # Batched serving: many targets share ONE GIN forward pass and one
+    # vectorized KNN search; repeat traffic skips the GIN forward via the
+    # embedding memo-cache (featurization still runs for raw Dataset inputs
+    # — pass prebuilt FeatureGraphs to skip it too).
+    print("\nBatched serving: a fleet of targets in one recommend_batch call")
+    fleet = [generate_dataset(random_spec(20_000 + i)) for i in range(4)]
+    recs = advisor.recommend_batch(fleet, accuracy_weight=0.9)
+    for dataset, rec in zip(fleet, recs):
+        print(f"  {dataset.name:16s} -> {rec.model}")
+    cache = advisor.embedding_cache
+    advisor.recommend_batch(fleet, accuracy_weight=0.9)  # all cache hits now
+    print(f"  embedding cache: {cache.hits} hits / {cache.misses} misses")
+
     # How good was the advice?  Label the target and check the D-error.
     truth = label_one(random_spec(10_001), TESTBED).label
     rec = advisor.recommend(target, accuracy_weight=0.9)

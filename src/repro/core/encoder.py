@@ -15,8 +15,44 @@ from __future__ import annotations
 import numpy as np
 
 from .. import nn
+from ..nn.autograd import Tensor
 from ..utils.rng import rng_from_seed
 from .graph import FeatureGraph, batch_graphs
+
+
+def gin_combine(h: nn.Tensor, adjacency: np.ndarray,
+                epsilon: nn.Tensor) -> nn.Tensor:
+    """Fused ``(1 + ε)·h + A·h`` as one autograd node.
+
+    The adjacency is a constant and — being the symmetrized ``E + Eᵀ`` —
+    equals its own transpose, so the backward pass reuses it directly
+    instead of a strided transposed batched matmul.  Fusing the
+    scale-and-aggregate avoids four intermediate tensors per layer on the
+    training hot path.
+    """
+    eps = 1.0 + float(epsilon.data[0])
+    data = eps * h.data + adjacency @ h.data
+    h_data = h.data
+
+    def backward(grad):
+        out = []
+        if h.requires_grad:
+            out.append((h, eps * grad + adjacency @ grad))
+        if epsilon.requires_grad:
+            out.append((epsilon, np.array([(grad * h_data).sum()])))
+        return out
+
+    return Tensor._make(data, (h, epsilon), backward)
+
+
+def masked_sum_pool(h: nn.Tensor, mask: np.ndarray) -> nn.Tensor:
+    """Fused masked sum pooling ``Σ_i mask_i · h_i`` over the vertex axis."""
+    data = (h.data * mask[:, :, None]).sum(axis=1)
+
+    def backward(grad):
+        return ((h, grad[:, None, :] * mask[:, :, None]),)
+
+    return Tensor._make(data, (h,), backward)
 
 
 class GINLayer(nn.Module):
@@ -25,16 +61,19 @@ class GINLayer(nn.Module):
     def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator):
         super().__init__()
         self.epsilon = nn.Tensor(np.zeros(1), requires_grad=True)
-        self.mlp = nn.MLP([in_dim, out_dim, out_dim], rng)
+        # output_activation="relu" lets the MLP fuse the layer's final ReLU
+        # into its last affine node on the training hot path.
+        self.mlp = nn.MLP([in_dim, out_dim, out_dim], rng,
+                          output_activation="relu")
 
-    def forward(self, h: nn.Tensor, adjacency: nn.Tensor,
+    def forward(self, h: nn.Tensor, adjacency: np.ndarray,
                 mask: np.ndarray) -> nn.Tensor:
         # h: [B, n, d]; adjacency: [B, n, n] (weighted, symmetric).
-        neighbour_sum = adjacency @ h
-        combined = h * (self.epsilon + 1.0) + neighbour_sum
-        out = self.mlp(combined).relu()
-        # Keep padded vertices at zero so sum pooling ignores them.
-        return out * nn.Tensor(mask[:, :, None])
+        # The MLP's fused affine collapses [B, n, d] to one [B·n, d] GEMM;
+        # padded vertices need no per-layer zeroing — their adjacency
+        # rows/columns are zero, so they never reach a real vertex, and the
+        # encoder's final sum pooling masks them out.
+        return self.mlp(gin_combine(h, adjacency, self.epsilon))
 
 
 class GINEncoder(nn.Module):
@@ -58,12 +97,22 @@ class GINEncoder(nn.Module):
                 mask: np.ndarray) -> nn.Tensor:
         """Batched encoding: [B, n, d] + [B, n, n] + [B, n] → [B, e]."""
         # Symmetrize: messages flow both ways along a join edge.
-        adjacency = nn.Tensor(edges + np.swapaxes(edges, 1, 2))
+        return self.forward_adjacency(
+            vertices, edges + np.swapaxes(edges, 1, 2), mask)
+
+    def forward_adjacency(self, vertices: np.ndarray, adjacency: np.ndarray,
+                          mask: np.ndarray) -> nn.Tensor:
+        """Encoding from an already-symmetrized adjacency (``E + Eᵀ``).
+
+        The fast training path precomputes the symmetrized adjacency once per
+        corpus (see :class:`~repro.core.graph.GraphTensorBatcher`) instead of
+        re-deriving it on every forward call.
+        """
         h = nn.Tensor(vertices)
         for layer in self.layers:
             h = layer(h, adjacency, mask)
         # Sum pooling over (unpadded) vertices.
-        return (h * nn.Tensor(mask[:, :, None])).sum(axis=1)
+        return masked_sum_pool(h, mask)
 
     def encode_batch(self, graphs: list[FeatureGraph]) -> nn.Tensor:
         vertices, edges, mask = batch_graphs(graphs)

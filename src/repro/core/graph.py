@@ -5,16 +5,23 @@ features per table, ``d = (k + m)·m + 2``) and an edge matrix
 ``E ∈ R^{n × n}`` of join correlations.  Graphs are padded to a common
 table count for batched GIN encoding and for the Mixup augmentation of the
 incremental-learning phase.
+
+For training-scale corpora, :class:`GraphTensorBatcher` pads and stacks the
+whole corpus into ``[N, n, d]`` / ``[N, n, n]`` tensors **once** (including
+the pre-symmetrized adjacency the GIN encoder needs), so every DML step
+slices index arrays instead of re-running :func:`batch_graphs`.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..db.schema import Dataset
-from .features import join_correlation_matrix, table_feature_vector, vertex_dimension
+from .features import (join_correlation_matrix, table_feature_vector,
+                       table_feature_vector_reference, vertex_dimension)
 
 #: Default maximum number of data columns encoded per table (the paper's m).
 DEFAULT_MAX_COLUMNS = 5
@@ -37,6 +44,7 @@ class FeatureGraph:
         if self.edges.shape != (n, n):
             raise ValueError(
                 f"edge matrix shape {self.edges.shape} != ({n}, {n})")
+        self._fingerprint: str | None = None
 
     @property
     def num_tables(self) -> int:
@@ -45,6 +53,15 @@ class FeatureGraph:
     @property
     def vertex_dim(self) -> int:
         return self.vertices.shape[1]
+
+    def fingerprint(self) -> str:
+        """Content hash of the graph, used as the embedding-cache key."""
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(np.ascontiguousarray(self.vertices).tobytes())
+            digest.update(np.ascontiguousarray(self.edges).tobytes())
+            self._fingerprint = digest.hexdigest()[:32]
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     def padded(self, num_tables: int) -> "FeatureGraph":
@@ -77,11 +94,31 @@ class FeatureGraph:
 
 
 def build_feature_graph(dataset: Dataset,
-                        max_columns: int = DEFAULT_MAX_COLUMNS) -> FeatureGraph:
-    """Run the full feature-engineering pipeline for one dataset."""
+                        max_columns: int = DEFAULT_MAX_COLUMNS,
+                        sample_rows: int | None = None) -> FeatureGraph:
+    """Run the full feature-engineering pipeline for one dataset.
+
+    ``sample_rows`` enables the row-sampling featurizer sketch for large
+    tables; the exact path (``None``) is the default.
+    """
     names = sorted(dataset.table_names)
     vertices = np.stack([
-        table_feature_vector(dataset[name], max_columns) for name in names
+        table_feature_vector(dataset[name], max_columns,
+                             sample_rows=sample_rows)
+        for name in names
+    ])
+    edges = join_correlation_matrix(dataset)
+    return FeatureGraph(dataset.name, vertices, edges)
+
+
+def build_feature_graph_reference(dataset: Dataset,
+                                  max_columns: int = DEFAULT_MAX_COLUMNS
+                                  ) -> FeatureGraph:
+    """Scalar-path feature graph (ground truth for equivalence tests)."""
+    names = sorted(dataset.table_names)
+    vertices = np.stack([
+        table_feature_vector_reference(dataset[name], max_columns)
+        for name in names
     ])
     edges = join_correlation_matrix(dataset)
     return FeatureGraph(dataset.name, vertices, edges)
@@ -104,3 +141,28 @@ def batch_graphs(graphs: list[FeatureGraph]):
         edges[i, :n, :n] = graph.edges
         mask[i, :n] = 1.0
     return vertices, edges, mask
+
+
+class GraphTensorBatcher:
+    """Corpus tensor cache for DML training.
+
+    Pads and stacks a whole corpus once — vertices ``[N, n, d]``, the
+    **pre-symmetrized** adjacency ``[N, n, n]`` (``E + Eᵀ``, which
+    ``GINEncoder.forward`` otherwise recomputes on every call) and the
+    vertex mask ``[N, n]``.  :meth:`slice` then serves any training batch as
+    pure index-array views; zero-padding to the corpus-wide max table count
+    is numerically transparent to the masked GIN encoder.
+    """
+
+    def __init__(self, graphs: list[FeatureGraph]):
+        vertices, edges, mask = batch_graphs(graphs)
+        self.vertices = vertices
+        self.adjacency = edges + np.swapaxes(edges, 1, 2)
+        self.mask = mask
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def slice(self, idx: np.ndarray):
+        """Batch tensors (vertices, adjacency, mask) for the given indices."""
+        return self.vertices[idx], self.adjacency[idx], self.mask[idx]

@@ -20,7 +20,8 @@ from ..testbed.scores import ScoreLabel
 from ..utils.rng import rng_from_seed
 from .dml import DMLTrainer
 from .graph import FeatureGraph
-from .predictor import KNNPredictor, RecommendationCandidateSet
+from .predictor import (KNNPredictor, RecommendationCandidateSet,
+                        squared_distance_matrix)
 
 
 @dataclass
@@ -74,8 +75,10 @@ def collect_feedback(encoder, graphs: list[FeatureGraph],
             continue
         rcs = RecommendationCandidateSet(
             embeddings[rest], [labels[i] for i in rest])
-        for i in fold_set:
-            rec = predictor.recommend(embeddings[i], rcs, config.accuracy_weight)
+        held_out = sorted(fold_set)
+        recs = predictor.recommend_batch(
+            embeddings[held_out], rcs, config.accuracy_weight)
+        for i, rec in zip(held_out, recs):
             d_err = labels[i].d_error(rec.model, config.accuracy_weight, clip=None)
             if d_err > config.d_error_threshold:
                 feedback.append(i)
@@ -94,10 +97,13 @@ def augment_with_mixup(encoder, graphs: list[FeatureGraph],
     new_labels: list[ScoreLabel] = []
     if feedback and reference:
         embeddings = encoder.embed(graphs)
-        ref_embeddings = embeddings[reference]
-        for i in feedback:
-            distances = np.sqrt(((ref_embeddings - embeddings[i]) ** 2).sum(axis=1))
-            j = reference[int(np.argmin(distances))]
+        # One [|feedback|, |reference|] Gram-identity distance matrix instead
+        # of a Python loop of broadcast passes.
+        sq = squared_distance_matrix(embeddings[feedback],
+                                     embeddings[reference])
+        nearest_ref = np.argmin(sq, axis=1)
+        for i, r in zip(feedback, nearest_ref):
+            j = reference[int(r)]
             lam = float(rng.beta(config.alpha, config.beta))
             new_graphs.append(graphs[i].mix_with(graphs[j], lam))
             new_labels.append(labels[i].mix_with(labels[j], lam))

@@ -20,11 +20,22 @@ from .. import nn
 
 _NEG_INF = -1e9
 
+#: Memoized boolean identity matrices (batch sizes recur every step).
+_EYE_CACHE: dict[int, np.ndarray] = {}
+
+
+def _bool_eye(m: int) -> np.ndarray:
+    eye = _EYE_CACHE.get(m)
+    if eye is None:
+        eye = np.eye(m, dtype=bool)
+        _EYE_CACHE[m] = eye
+    return eye
+
 
 def cosine_similarity_matrix(labels: np.ndarray) -> np.ndarray:
     """Eq. 6: pairwise cosine similarity of label (score) vectors."""
     labels = np.asarray(labels, dtype=np.float64)
-    norms = np.linalg.norm(labels, axis=1, keepdims=True)
+    norms = np.sqrt((labels * labels).sum(axis=1, keepdims=True))
     normalized = labels / np.maximum(norms, 1e-12)
     sims = normalized @ normalized.T
     return np.clip(sims, -1.0, 1.0)
@@ -35,41 +46,97 @@ def positive_negative_masks(similarities: np.ndarray, tau: float):
 
     The diagonal (self pairs) is excluded from both sets.
     """
-    m = len(similarities)
-    eye = np.eye(m, dtype=bool)
-    positive = (similarities >= tau) & ~eye
-    negative = (similarities < tau) & ~eye
+    off_diagonal = ~_bool_eye(len(similarities))
+    positive = (similarities >= tau) & off_diagonal
+    # Off-diagonal pairs not positive are negative (one xor, not a second
+    # comparison pass).
+    negative = positive ^ off_diagonal
     return positive, negative
 
 
 def pairwise_distances(embeddings: nn.Tensor) -> nn.Tensor:
-    """Eq. 8: pairwise Euclidean distances U of a batch of embeddings."""
-    squared = (embeddings * embeddings).sum(axis=1, keepdims=True)
-    gram = embeddings @ embeddings.T
-    dist_sq = squared + squared.T - gram * 2.0
-    # Numerical noise can push diagonal entries slightly negative.
-    dist_sq = dist_sq.relu()
-    return (dist_sq + 1e-12).sqrt()
+    """Eq. 8: pairwise Euclidean distances U of a batch of embeddings.
+
+    Computed via the Gram identity ``‖e_i‖² + ‖e_j‖² − 2⟨e_i, e_j⟩`` as a
+    single fused autograd node (the composed version built ~9 graph nodes
+    per batch).  Numerical noise on the diagonal is clipped at zero before
+    the ``sqrt(· + 1e-12)``.
+    """
+    e = embeddings.data
+    squared = (e * e).sum(axis=1, keepdims=True)
+    dist_sq = squared + squared.T - (e @ e.T) * 2.0
+    positive_mask = dist_sq > 0
+    dist_sq = dist_sq * positive_mask
+    distances = np.sqrt(dist_sq + 1e-12)
+
+    def backward(grad):
+        # dL/dK for K = clipped squared distances (chain through sqrt+clip),
+        # then grad_E = 2·(rowsum(S)·E − S@E) with S = Q + Qᵀ.
+        q = grad * (0.5 / distances) * positive_mask
+        s = q + q.T
+        grad_e = 2.0 * (s.sum(axis=1, keepdims=True) * e - s @ e)
+        return ((embeddings, grad_e),)
+
+    return nn.Tensor._make(distances, (embeddings,), backward)
+
+
+def _masked_logsumexp(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Stable logsumexp and softmax along the last axis.
+
+    Accepts stacked [..., m, m] inputs so both Eq. 9 terms run in one pass;
+    fully-masked (all ``-inf``) rows are tolerated — callers zero them via
+    the has-positive/has-negative indicators.
+    """
+    shift = values.max(axis=-1, keepdims=True)
+    shifted_exp = np.exp(values - shift)
+    sumexp = shifted_exp.sum(axis=-1, keepdims=True)
+    lse = np.log(sumexp) + shift
+    softmax = shifted_exp / sumexp
+    return lse[..., 0], softmax
 
 
 def weighted_contrastive_loss(embeddings: nn.Tensor, similarities: np.ndarray,
                               tau: float = 0.95, gamma: float = 2.0) -> nn.Tensor:
-    """Eq. 9: the paper's weighted contrastive loss over one batch."""
+    """Eq. 9: the paper's weighted contrastive loss over one batch.
+
+    Fully fused: the Gram-identity distances (Eq. 8), masking, the two
+    logsumexps and the anchor mean form a single autograd node from the
+    embeddings to the scalar loss.  The gradient w.r.t. U is the closed-form
+    softmax pair weighting of Eqs. 11–12, chained through the distance
+    identity to the embeddings (verified against composed autograd ops and
+    finite differences in the tests).
+    """
     positive, negative = positive_negative_masks(similarities, tau)
-    distances = pairwise_distances(embeddings)
-    sims = nn.Tensor(similarities)
+    e = embeddings.data
+    squared = (e * e).sum(axis=1, keepdims=True)
+    dist_sq = squared + squared.T - (e @ e.T) * 2.0
+    positive_dist = dist_sq > 0
+    distances = np.sqrt(dist_sq * positive_dist + 1e-12)
 
-    pos_arg = nn.where(positive, distances + sims, nn.Tensor(np.full_like(similarities, _NEG_INF)))
-    neg_arg = nn.where(negative, (distances + sims) * -1.0 + gamma,
-                       nn.Tensor(np.full_like(similarities, _NEG_INF)))
-
-    pos_term = pos_arg.logsumexp(axis=1)
-    neg_term = neg_arg.logsumexp(axis=1)
+    arg = distances + similarities
+    m = len(similarities)
+    # Both Eq. 9 terms as one stacked [2, m, m] logsumexp pass.
+    stacked = np.full((2, m, m), _NEG_INF)
+    np.copyto(stacked[0], arg, where=positive)
+    np.copyto(stacked[1], arg * -1.0 + gamma, where=negative)
+    (pos_term, neg_term), (pos_softmax, neg_softmax) = \
+        _masked_logsumexp(stacked)
 
     has_pos = positive.any(axis=1).astype(np.float64)
     has_neg = negative.any(axis=1).astype(np.float64)
-    total = pos_term * nn.Tensor(has_pos) + neg_term * nn.Tensor(has_neg)
-    return total.mean()
+    loss = (pos_term * has_pos + neg_term * has_neg).sum() / m
+
+    def backward(grad):
+        # ∂L/∂U_ij = (w⁺_ij − w⁻_ij) / m per anchor row (Eqs. 11–12) ...
+        grad_u = (grad / m) * (has_pos[:, None] * pos_softmax
+                               - has_neg[:, None] * neg_softmax)
+        # ... chained through U = sqrt(clip(K) + 1e-12), K = Gram identity.
+        q = grad_u * (0.5 / distances) * positive_dist
+        s = q + q.T
+        grad_e = 2.0 * (s.sum(axis=1, keepdims=True) * e - s @ e)
+        return ((embeddings, grad_e),)
+
+    return nn.Tensor._make(np.asarray(loss), (embeddings,), backward)
 
 
 def basic_contrastive_loss(embeddings: nn.Tensor, similarities: np.ndarray,

@@ -15,7 +15,7 @@ import numpy as np
 from ..testbed.scores import ScoreLabel
 from .dml import DMLTrainer
 from .graph import FeatureGraph
-from .predictor import RecommendationCandidateSet
+from .predictor import RecommendationCandidateSet, squared_distance_matrix
 
 
 @dataclass
@@ -38,8 +38,8 @@ class DriftDetector:
                         rcs: RecommendationCandidateSet) -> float:
         if len(rcs) == 0:
             return np.inf
-        distances = np.sqrt(((rcs.embeddings - embedding) ** 2).sum(axis=1))
-        return float(distances.min())
+        sq = squared_distance_matrix(embedding, rcs.embeddings)
+        return float(np.sqrt(sq.min()))
 
     def is_drifted(self, embedding: np.ndarray,
                    rcs: RecommendationCandidateSet) -> bool:

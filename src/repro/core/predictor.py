@@ -4,15 +4,66 @@ The recommendation candidate set (RCS, Def. 5) holds the embeddings of all
 labeled datasets.  For a target dataset AutoCE embeds its feature graph,
 finds the k nearest labeled embeddings, averages their score vectors under
 the user's metric weights and recommends the top-scoring model.
+
+Serving fast path: all pairwise distances go through the Gram-matrix
+identity ``‖a − b‖² = ‖a‖² + ‖b‖² − 2·a·b`` (no O(n²·d) broadcast tensor),
+neighbor selection uses ``argpartition`` plus a partial sort of the top-k
+instead of a full sort, and :meth:`KNNPredictor.recommend_batch` serves many
+queries against one ``[Q, N]`` distance matrix at once.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..testbed.scores import ScoreLabel
+
+
+def squared_distance_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances [Q, N] via the Gram identity.
+
+    ``‖a‖² + ‖b‖² − 2·a·b`` avoids materializing the O(Q·N·d) difference
+    tensor; numerical noise is clipped at zero.
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+    b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+    sq = ((a * a).sum(axis=1)[:, None] + (b * b).sum(axis=1)[None, :]
+          - 2.0 * (a @ b.T))
+    return np.maximum(sq, 0.0)
+
+
+def top_k_neighbors(distances: np.ndarray, k: int) -> np.ndarray:
+    """Top-k nearest indices per row of a [Q, N] distance matrix.
+
+    ``argpartition`` selects the k candidates in O(N), then only those k are
+    sorted.  Distance ties — including ties straddling the k boundary, where
+    ``argpartition`` alone may pick an arbitrary tied member — are broken by
+    lowest index, so the result matches a full ``argsort(kind="stable")[:k]``
+    exactly.
+    """
+    distances = np.atleast_2d(distances)
+    q, n = distances.shape
+    k = min(k, n)
+    if k >= n:
+        part = np.broadcast_to(np.arange(n), (q, n))
+        order = np.lexsort((part, distances), axis=1)
+        return np.take_along_axis(np.ascontiguousarray(part), order, axis=1)
+    part = np.argpartition(distances, k - 1, axis=1)[:, :k]
+    # The k-th smallest value bounds the selection; keep everything strictly
+    # closer and fill the remainder with the lowest-index boundary ties.
+    boundary = np.take_along_axis(distances, part, axis=1).max(
+        axis=1, keepdims=True)
+    closer = distances < boundary
+    need = k - closer.sum(axis=1)
+    ties = distances == boundary
+    tie_rank = np.cumsum(ties, axis=1)
+    selected = closer | (ties & (tie_rank <= need[:, None]))
+    idx = np.nonzero(selected)[1].reshape(q, k)
+    order = np.lexsort((idx, np.take_along_axis(distances, idx, axis=1)),
+                       axis=1)
+    return np.take_along_axis(idx, order, axis=1)
 
 
 @dataclass
@@ -31,18 +82,32 @@ class Recommendation:
 
 
 class RecommendationCandidateSet:
-    """Def. 5: labeled embeddings (X, Y) searched by the KNN predictor."""
+    """Def. 5: labeled embeddings (X, Y) searched by the KNN predictor.
+
+    Embeddings live in an amortized capacity-doubling buffer, so the online
+    adaptation path can :meth:`add` members in O(1) amortized instead of
+    re-allocating the whole matrix per insert.  Score matrices (one per
+    accuracy weight) are memoized for the batched KNN.
+    """
 
     def __init__(self, embeddings: np.ndarray | None = None,
                  labels: list[ScoreLabel] | None = None):
-        self.embeddings = (np.zeros((0, 0)) if embeddings is None
-                           else np.asarray(embeddings, dtype=np.float64))
+        embeddings = (np.zeros((0, 0)) if embeddings is None
+                      else np.asarray(embeddings, dtype=np.float64))
         self.labels: list[ScoreLabel] = list(labels or [])
-        if len(self.embeddings) != len(self.labels):
+        if len(embeddings) != len(self.labels):
             raise ValueError("embeddings and labels must align")
+        self._buffer = np.array(embeddings, dtype=np.float64)
+        self._size = len(embeddings)
+        self._score_cache: dict[float, np.ndarray] = {}
 
     def __len__(self) -> int:
         return len(self.labels)
+
+    @property
+    def embeddings(self) -> np.ndarray:
+        """The live [N, d] embedding matrix (a view of the growth buffer)."""
+        return self._buffer[:self._size]
 
     @property
     def model_names(self) -> tuple[str, ...]:
@@ -51,28 +116,50 @@ class RecommendationCandidateSet:
         return self.labels[0].model_names
 
     def add(self, embedding: np.ndarray, label: ScoreLabel) -> None:
-        embedding = np.asarray(embedding, dtype=np.float64)[None, :]
-        if len(self.labels) == 0:
-            self.embeddings = embedding
-        else:
-            self.embeddings = np.vstack([self.embeddings, embedding])
+        embedding = np.asarray(embedding, dtype=np.float64).ravel()
+        dim = embedding.shape[0]
+        if self._size == 0:
+            if self._buffer.shape[1] != dim or len(self._buffer) == 0:
+                self._buffer = np.zeros((max(4, len(self._buffer)), dim))
+        elif self._buffer.shape[1] != dim:
+            raise ValueError(
+                f"embedding dimension {dim} != RCS dimension "
+                f"{self._buffer.shape[1]}")
+        if self._size == len(self._buffer):
+            grown = np.zeros((max(4, 2 * len(self._buffer)), dim))
+            grown[:self._size] = self._buffer[:self._size]
+            self._buffer = grown
+        self._buffer[self._size] = embedding
+        self._size += 1
         self.labels.append(label)
+        self._score_cache.clear()
 
     def replace_embeddings(self, embeddings: np.ndarray) -> None:
         """Refresh stored embeddings after the encoder is retrained."""
         embeddings = np.asarray(embeddings, dtype=np.float64)
         if len(embeddings) != len(self.labels):
             raise ValueError("embedding count must match labels")
-        self.embeddings = embeddings
+        self._buffer = np.array(embeddings, dtype=np.float64)
+        self._size = len(embeddings)
+        self._score_cache.clear()
+
+    def score_matrix(self, accuracy_weight: float) -> np.ndarray:
+        """Memoized [N, m] matrix of member score vectors at one weight."""
+        key = float(accuracy_weight)
+        cached = self._score_cache.get(key)
+        if cached is None or len(cached) != len(self.labels):
+            cached = np.stack(
+                [label.score_vector(key) for label in self.labels])
+            self._score_cache[key] = cached
+        return cached
 
     def nearest_neighbor_distances(self) -> np.ndarray:
         """Distance of each member to its nearest other member."""
         if len(self) < 2:
             return np.zeros(len(self))
-        diff = self.embeddings[:, None, :] - self.embeddings[None, :, :]
-        distances = np.sqrt((diff ** 2).sum(axis=2))
-        np.fill_diagonal(distances, np.inf)
-        return distances.min(axis=1)
+        sq = squared_distance_matrix(self.embeddings, self.embeddings)
+        np.fill_diagonal(sq, np.inf)
+        return np.sqrt(sq.min(axis=1))
 
 
 class KNNPredictor:
@@ -93,9 +180,8 @@ class KNNPredictor:
         k = k if k is not None else self.k
         k = min(k, len(rcs))
         distances = np.sqrt(((rcs.embeddings - embedding) ** 2).sum(axis=1))
-        nearest = np.argsort(distances, kind="stable")[:k]
-        score = np.mean(
-            [rcs.labels[i].score_vector(accuracy_weight) for i in nearest], axis=0)
+        nearest = top_k_neighbors(distances, k)[0]
+        score = rcs.score_matrix(accuracy_weight)[nearest].mean(axis=0)
         names = rcs.model_names
         return Recommendation(
             model=names[int(np.argmax(score))],
@@ -104,3 +190,35 @@ class KNNPredictor:
             neighbor_indices=nearest,
             neighbor_distances=distances[nearest],
         )
+
+    def recommend_batch(self, embeddings: np.ndarray,
+                        rcs: RecommendationCandidateSet,
+                        accuracy_weight: float,
+                        k: int | None = None) -> list[Recommendation]:
+        """Vectorized Eq. 13 for Q queries at once.
+
+        One [Q, N] Gram-identity distance matrix, one ``argpartition`` per
+        row, and one gather over the memoized score matrix replace Q
+        independent full-sort searches.
+        """
+        if len(rcs) == 0:
+            raise ValueError("cannot recommend from an empty RCS")
+        embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+        k = k if k is not None else self.k
+        k = min(k, len(rcs))
+        distances = np.sqrt(squared_distance_matrix(embeddings, rcs.embeddings))
+        nearest = top_k_neighbors(distances, k)                      # [Q, k]
+        scores = rcs.score_matrix(accuracy_weight)[nearest].mean(axis=1)
+        best = np.argmax(scores, axis=1)
+        names = rcs.model_names
+        neighbor_distances = np.take_along_axis(distances, nearest, axis=1)
+        return [
+            Recommendation(
+                model=names[int(best[i])],
+                score_vector=scores[i],
+                model_names=names,
+                neighbor_indices=nearest[i],
+                neighbor_distances=neighbor_distances[i],
+            )
+            for i in range(len(embeddings))
+        ]

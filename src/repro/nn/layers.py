@@ -93,10 +93,42 @@ class Linear(Module):
         self.bias = Tensor(init.zeros(out_features), requires_grad=True) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.bias is not None and x.ndim >= 2:
+            return self._fused_affine(x)
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
         return out
+
+    def _fused_affine(self, x: Tensor, relu: bool = False) -> Tensor:
+        """``x @ W + b`` (optionally + ReLU) as a single autograd node.
+
+        Identical math to the composed ops, but one graph node instead of
+        two or three, and batched inputs ([..., in]) collapse to a single
+        2-D GEMM instead of a stack of small ones — per-node overhead and
+        GEMM dispatch dominate at small batch sizes.
+        """
+        weight, bias = self.weight, self.bias
+        w_data = weight.data
+        x2 = x.data.reshape(-1, self.in_features)
+        out_shape = x.data.shape[:-1] + (self.out_features,)
+        out = x2 @ w_data + bias.data
+        relu_mask = None
+        if relu:
+            relu_mask = out > 0
+            out = out * relu_mask
+        data = out.reshape(out_shape)
+
+        def backward(grad):
+            g2 = grad.reshape(-1, self.out_features)
+            if relu_mask is not None:
+                g2 = g2 * relu_mask
+            out = [(weight, x2.T @ g2), (bias, g2.sum(axis=0))]
+            if x.requires_grad:
+                out.append((x, (g2 @ w_data.T).reshape(x.data.shape)))
+            return out
+
+        return Tensor._make(data, (x, weight, bias), backward)
 
 
 class MaskedLinear(Linear):
@@ -174,9 +206,14 @@ class MLP(Module):
         raise ValueError(f"unknown activation {kind!r}")
 
     def forward(self, x: Tensor) -> Tensor:
-        for layer in self.layers[:-1]:
-            x = self._activate(layer(x), self.activation)
-        x = self.layers[-1](x)
-        if self.output_activation is not None:
-            x = self._activate(x, self.output_activation)
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            kind = self.activation if i < last else self.output_activation
+            if kind == "relu" and layer.bias is not None and x.ndim >= 2:
+                # Affine + ReLU as one fused graph node.
+                x = layer._fused_affine(x, relu=True)
+            else:
+                x = layer(x)
+                if kind is not None:
+                    x = self._activate(x, kind)
         return x

@@ -11,7 +11,52 @@ from __future__ import annotations
 import hashlib
 import json
 import pickle
+from collections import OrderedDict
 from pathlib import Path
+
+#: Sentinel distinguishing "missing" from a cached ``None``.
+MISSING = object()
+
+
+class LRUCache:
+    """A bounded in-memory memo cache with least-recently-used eviction.
+
+    Used as the serving-path embedding cache: repeat traffic for the same
+    dataset fingerprint skips featurize + GIN forward entirely.  ``hits`` /
+    ``misses`` counters make cache behavior observable in benchmarks.
+    """
+
+    def __init__(self, maxsize: int = 1024):
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def get(self, key, default=None):
+        value = self._data.get(key, MISSING)
+        if value is MISSING:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
 
 
 def stable_hash(obj) -> str:
