@@ -8,7 +8,13 @@ three advisor stages the perf PR targets:
 * ``dml_epoch``         — per-batch ``batch_graphs`` re-padding vs the
   corpus tensor cache (``GraphTensorBatcher``), one epoch at batch_size=32;
 * ``recommend_batch``   — 100 sequential ``recommend`` calls (embedding
-  cache off) vs one ``recommend_batch`` over repeat traffic.
+  cache off) vs one ``recommend_batch`` over repeat traffic;
+* ``ann_search``        — exact ``[Q, N]`` Gram-identity KNN vs the
+  multi-probe LSH ``ANNIndex`` on a CardBench-scale (8192-member)
+  family-structured RCS, with recall@k against the exact result;
+* ``persistent_cache``  — a serving node killed and reloaded from
+  ``load_advisor``: first repeat query must come from the disk tier of the
+  embedding cache with **zero** GIN forwards.
 
 Writes a machine-readable ``results/BENCH_micro.json`` so future PRs can
 track the perf trajectory, and prints a human-readable table.
@@ -37,7 +43,7 @@ from repro.datagen.spec import random_spec
 from repro.utils.rng import rng_from_seed
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
-from synth import MODELS, synthetic_corpus  # noqa: E402
+from synth import MODELS, family_corpus, synthetic_corpus  # noqa: E402
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -258,6 +264,97 @@ def bench_recommend_batch(repeats: int) -> dict:
             "before_s": before, "after_s": after, "speedup": before / after}
 
 
+def bench_ann_search(repeats: int, rcs_size: int = 8192,
+                     num_queries: int = 512, k: int = 5) -> dict:
+    """Exact vs ANN KNN serving on a CardBench-scale family corpus.
+
+    Embeddings come from a real GIN encoder over a family-structured corpus
+    (the regime large labeled corpora live in); recall@k is measured against
+    the exact ``top_k_neighbors`` result on the same queries.
+    """
+    from repro.core.predictor import ANNConfig, ANNIndex, exact_search
+
+    graphs, _ = family_corpus(rcs_size + num_queries, seed=0)
+    encoder = GINEncoder(graphs[0].vertex_dim, hidden_dim=64,
+                         embedding_dim=32, seed=0)
+    embeddings = encoder.embed(graphs)
+    members, queries = embeddings[:rcs_size], embeddings[rcs_size:]
+
+    index = ANNIndex(ANNConfig(seed=0))
+    index.rebuild(members)
+    index.search(queries, members, k)          # warm: lazy bucket sort
+    before, after = interleaved_best(
+        lambda: exact_search(queries, members, k),
+        lambda: index.search(queries, members, k), repeats)
+
+    exact_idx, _ = exact_search(queries, members, k)
+    ann_idx, _ = index.search(queries, members, k)
+    recall = float(np.mean([
+        len(set(a) & set(e)) / k for a, e in zip(ann_idx, exact_idx)]))
+    return {"rcs_size": rcs_size, "queries": num_queries, "k": k,
+            "recall_at_k": recall, "before_s": before, "after_s": after,
+            "speedup": before / after}
+
+
+def bench_persistent_cache(repeats: int, tmp_root: Path | None = None) -> dict:
+    """Kill-and-reload serving-node warm start from the persistent cache.
+
+    Fits an advisor with a disk-backed embedding cache, serves a batch once
+    (populating the cache), saves the advisor, *discards the process state*
+    (fresh ``load_advisor``, as after a node restart) and replays the same
+    traffic.  The replay must hit the disk tier without a single GIN
+    forward; the bench also times cold vs warm serving.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.persistence import load_advisor, save_advisor
+
+    workdir = Path(tempfile.mkdtemp(dir=tmp_root))
+    try:
+        graphs, labels = synthetic_corpus(64)
+        queries = graphs[:32]
+        advisor = AutoCE(AutoCEConfig(
+            hidden_dim=32, embedding_dim=16, use_incremental=False,
+            embedding_cache_dir=str(workdir / "emb-cache"),
+            dml=DMLConfig(epochs=2, batch_size=32), seed=0))
+        advisor.fit(graphs, labels)
+
+        start = time.perf_counter()
+        cold = advisor.recommend_batch(queries, 0.9)
+        cold_s = time.perf_counter() - start
+        save_advisor(advisor, str(workdir / "advisor.npz"))
+        del advisor                              # "kill" the serving node
+
+        reloaded = load_advisor(str(workdir / "advisor.npz"))
+        forwards = {"n": 0}
+        original_embed = reloaded.encoder.embed
+
+        def counting_embed(batch):
+            forwards["n"] += 1
+            return original_embed(batch)
+
+        reloaded.encoder.embed = counting_embed
+        start = time.perf_counter()
+        warm = reloaded.recommend_batch(queries, 0.9)
+        warm_s = time.perf_counter() - start
+        best = warm_s
+        for _ in range(repeats - 1):
+            start = time.perf_counter()
+            reloaded.recommend_batch(queries, 0.9)
+            best = min(best, time.perf_counter() - start)
+        assert [r.model for r in cold] == [r.model for r in warm], \
+            "warm-started serving diverged from the original node"
+        cache = reloaded.embedding_cache
+        return {"queries": len(queries),
+                "gin_forwards_after_reload": forwards["n"],
+                "first_query_from_disk": cache.disk_hits > 0,
+                "cold_s": cold_s, "after_s": best, "before_s": cold_s,
+                "speedup": cold_s / best}
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repeats", type=int, default=3,
@@ -270,6 +367,8 @@ def main(argv: list[str] | None = None) -> int:
         "featurize_corpus": bench_featurize(args.repeats),
         "dml_epoch": bench_dml_epoch(args.repeats),
         "recommend_batch": bench_recommend_batch(args.repeats),
+        "ann_search": bench_ann_search(args.repeats),
+        "persistent_cache": bench_persistent_cache(args.repeats),
     }
 
     args.output.parent.mkdir(parents=True, exist_ok=True)

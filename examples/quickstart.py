@@ -57,6 +57,34 @@ def main() -> None:
     advisor.recommend_batch(fleet, accuracy_weight=0.9)  # all cache hits now
     print(f"  embedding cache: {cache.hits} hits / {cache.misses} misses")
 
+    # Scale-out serving: ship the trained advisor to cheap, restartable
+    # serving nodes.  With a persistent cache directory configured, every
+    # embedding is write-through to disk, so a node restarted from
+    # load_advisor() serves repeat traffic without a single GIN forward —
+    # and once the RCS reaches AutoCEConfig().ann.threshold members, the
+    # KNN search switches to the multi-probe LSH index automatically.
+    # The same workflow from a shell:
+    #
+    #   python -m repro train --corpus 60 --fast --out advisor.npz
+    #   python -m repro serve tenant_a.npz tenant_b.npz \
+    #       --advisor advisor.npz --cache-dir /var/cache/autoce --workers 0
+    #
+    print("\nScale-out serving: persistent embedding cache across a restart")
+    import tempfile
+
+    from repro.core import load_advisor, save_advisor
+
+    with tempfile.TemporaryDirectory() as workdir:
+        save_advisor(advisor, f"{workdir}/advisor.npz")
+        node = load_advisor(f"{workdir}/advisor.npz")        # serving node
+        node.config.embedding_cache_dir = f"{workdir}/emb-cache"
+        node.recommend_batch(fleet, accuracy_weight=0.9)     # writes to disk
+        node = load_advisor(f"{workdir}/advisor.npz")        # restarted node
+        node.config.embedding_cache_dir = f"{workdir}/emb-cache"
+        node.recommend_batch(fleet, accuracy_weight=0.9)
+        print(f"  restarted node: {node.embedding_cache.disk_hits} of "
+              f"{len(fleet)} repeats served from disk, 0 GIN forwards")
+
     # How good was the advice?  Label the target and check the D-error.
     truth = label_one(random_spec(10_001), TESTBED).label
     rec = advisor.recommend(target, accuracy_weight=0.9)

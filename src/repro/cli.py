@@ -14,6 +14,11 @@ Wires the library's offline/online workflow into five commands:
 ``recommend``
     Load a trained advisor and a dataset, print the recommended CE model
     and the full ranking — Stage 4.
+``serve``
+    Batch-serve recommendations for many datasets from one advisor — the
+    scale-out serving path: parallel featurization, a persistent embedding
+    cache that survives process restarts, and (above the configured RCS
+    threshold) approximate KNN.
 ``experiment``
     Re-run one of the paper's evaluation-section experiments and print its
     table.
@@ -151,6 +156,34 @@ def cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    advisor = load_advisor(args.advisor)
+    advisor.config.featurize_workers = args.workers
+    if args.cache_dir:
+        # Write-through disk tier: a restarted node warm-starts from here
+        # and skips the GIN forward for every dataset it has served before.
+        advisor.config.embedding_cache_dir = args.cache_dir
+    datasets = [load_dataset(path) for path in args.datasets]
+    recs = advisor.recommend_batch(datasets, accuracy_weight=args.weight,
+                                   k=args.k)
+    print(f"served {len(recs)} recommendations (w_a = {args.weight})")
+    for dataset, rec in zip(datasets, recs):
+        print(f"  {dataset.name:<24} -> {rec.model}")
+    cache = advisor.embedding_cache
+    if cache is not None:
+        tier = ("persistent" if args.cache_dir else "in-memory")
+        line = (f"embedding cache ({tier}): {cache.hits} hits / "
+                f"{cache.misses} misses")
+        if args.cache_dir:
+            line += f" ({cache.disk_hits} served from disk)"
+        print(line)
+    index = advisor.rcs.index
+    print(f"neighbor search: "
+          f"{'ANN (LSH)' if index is not None else 'exact'} over "
+          f"{len(advisor.rcs)} RCS members")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
@@ -224,6 +257,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=None,
                    help="KNN neighbours (default: the advisor's k)")
     p.set_defaults(func=cmd_recommend)
+
+    p = sub.add_parser("serve",
+                       help="batch-serve recommendations for many datasets")
+    p.add_argument("datasets", nargs="+",
+                   help="dataset .npz files produced by 'generate'")
+    p.add_argument("--advisor", required=True, help="advisor .npz from 'train'")
+    p.add_argument("--weight", type=float, default=1.0,
+                   help="accuracy weight w_a in [0, 1]")
+    p.add_argument("--k", type=int, default=None,
+                   help="KNN neighbours (default: the advisor's k)")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent embedding-cache directory (survives "
+                        "restarts; invalidated when the encoder changes)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="featurization threads (0 = one per CPU, 1 = serial)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("experiment",
                        help="re-run a paper experiment and print its table")

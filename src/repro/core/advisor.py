@@ -22,31 +22,50 @@ per-query Python overhead::
 
     recs = advisor.recommend_batch(datasets, accuracy_weight=0.9)
 
-Both :meth:`recommend` and :meth:`recommend_batch` consult an LRU embedding
-memo-cache keyed by the feature graph's content fingerprint
-(``AutoCEConfig.embedding_cache_size``, set ``0`` to disable): repeat
-traffic for an already-seen dataset skips the GIN forward entirely.  The
-cache is invalidated whenever the encoder changes (``fit`` /
-``adapt_online``).  ``AutoCEConfig.featurize_sample_rows`` optionally
-enables the row-sampling featurizer sketch for very large tables; the exact
-featurizer is the default.
+Scale-out serving
+-----------------
+Three knobs grow the serving path past a single warm process:
+
+* **Approximate KNN** — once the RCS crosses ``AutoCEConfig.ann.threshold``
+  members, neighbor search switches from the exact ``[Q, N]`` scan to a
+  multi-probe LSH index (:class:`~repro.core.predictor.ANNIndex`) that is
+  maintained incrementally as the RCS grows.
+* **Persistent embedding cache** — both :meth:`recommend` and
+  :meth:`recommend_batch` consult an LRU embedding memo-cache keyed by the
+  feature graph's content fingerprint (``AutoCEConfig.embedding_cache_size``,
+  set ``0`` to disable).  With ``AutoCEConfig.embedding_cache_dir`` set the
+  cache is write-through to disk and stamped with a content hash of the
+  encoder weights, so a serving node restarted from
+  :func:`~repro.core.persistence.load_advisor` serves repeat traffic from
+  disk without a single GIN forward — while any retraining (``fit`` /
+  ``adapt_online``) changes the stamp and invalidates every stale entry.
+* **Parallel featurization** — ``AutoCEConfig.featurize_workers`` fans the
+  per-dataset featurizer out over a thread pool (the column kernels are
+  numpy-heavy and release the GIL); ``0`` means one worker per CPU.
+
+``AutoCEConfig.featurize_sample_rows`` optionally enables the row-sampling
+featurizer sketch for very large tables; the exact featurizer is the
+default.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..db.schema import Dataset
 from ..testbed.scores import ScoreLabel
-from ..utils.cache import MISSING, LRUCache
+from ..utils.cache import MISSING, LRUCache, PersistentLRUCache
 from .dml import DMLConfig, DMLTrainer
 from .encoder import GINEncoder
 from .graph import DEFAULT_MAX_COLUMNS, FeatureGraph, build_feature_graph
 from .incremental import IncrementalConfig, incremental_learning
 from .online import DriftDetector, OnlineAdapter
-from .predictor import (KNNPredictor, Recommendation,
+from .predictor import (ANNConfig, KNNPredictor, Recommendation,
                         RecommendationCandidateSet)
 
 
@@ -69,6 +88,15 @@ class AutoCEConfig:
     incremental_augment: bool = True
     #: LRU capacity of the serving-path embedding memo-cache (0 disables).
     embedding_cache_size: int = 1024
+    #: Directory for the disk tier of the embedding cache (None = in-memory
+    #: only).  Entries survive process restarts; they are invalidated by a
+    #: generation stamp derived from the encoder weights.
+    embedding_cache_dir: str | None = None
+    #: Approximate-KNN switch-over policy for CardBench-scale RCSs.
+    ann: ANNConfig = field(default_factory=ANNConfig)
+    #: Thread-pool width for featurizing many datasets (1 = serial,
+    #: 0 = one worker per CPU).
+    featurize_workers: int = 1
     #: Row-sampling sketch for the featurizer (None = exact, the default).
     featurize_sample_rows: int | None = None
     seed: int = 0
@@ -86,9 +114,13 @@ class AutoCE:
         self.detector = DriftDetector()
         self._graphs: list[FeatureGraph] = []
         self._labels: list[ScoreLabel] = []
-        self.embedding_cache: LRUCache | None = (
+        # The persistent variant needs the encoder-weight generation stamp,
+        # so it is attached lazily once the advisor is fitted (or reloaded).
+        self.embedding_cache: LRUCache | PersistentLRUCache | None = (
             LRUCache(self.config.embedding_cache_size)
-            if self.config.embedding_cache_size > 0 else None)
+            if self.config.embedding_cache_size > 0
+            and not self.config.embedding_cache_dir else None)
+        self._generation: str | None = None
         self.loss_history: list[float] = []
 
     # ------------------------------------------------------------------
@@ -99,6 +131,33 @@ class AutoCE:
             dataset, max_columns=self.config.max_columns,
             sample_rows=self.config.featurize_sample_rows)
 
+    def featurize_many(
+            self, datasets: list[Dataset] | list[FeatureGraph]
+    ) -> list[FeatureGraph]:
+        """Featurize a batch, fanning raw datasets out over a thread pool.
+
+        Prebuilt :class:`FeatureGraph` entries pass through untouched.  With
+        ``featurize_workers != 1`` the raw datasets are featurized
+        concurrently — the column-statistics kernels are numpy-heavy and
+        release the GIL, so multi-core serving nodes overlap them.
+        """
+        graphs: list = list(datasets)
+        raw = [i for i, d in enumerate(graphs)
+               if not isinstance(d, FeatureGraph)]
+        workers = self.config.featurize_workers
+        if workers == 0:
+            workers = os.cpu_count() or 1
+        if len(raw) > 1 and workers > 1:
+            with ThreadPoolExecutor(max_workers=min(workers, len(raw))) as pool:
+                built = list(pool.map(self.featurize,
+                                      [graphs[i] for i in raw]))
+            for i, graph in zip(raw, built):
+                graphs[i] = graph
+        else:
+            for i in raw:
+                graphs[i] = self.featurize(graphs[i])
+        return graphs
+
     # ------------------------------------------------------------------
     # Stages 2–3: training
     # ------------------------------------------------------------------
@@ -107,9 +166,7 @@ class AutoCE:
         """Train the advisor from labeled datasets (or prebuilt graphs)."""
         if len(datasets) != len(labels):
             raise ValueError("datasets and labels must align")
-        graphs = [d if isinstance(d, FeatureGraph) else self.featurize(d)
-                  for d in datasets]
-        return self.fit_graphs(graphs, labels)
+        return self.fit_graphs(self.featurize_many(datasets), labels)
 
     def fit_graphs(self, graphs: list[FeatureGraph],
                    labels: list[ScoreLabel]) -> "AutoCE":
@@ -135,11 +192,61 @@ class AutoCE:
 
     def _rebuild_rcs(self) -> None:
         embeddings = self.encoder.embed(self._graphs)
-        self.rcs = RecommendationCandidateSet(embeddings, list(self._labels))
+        self.rcs = RecommendationCandidateSet(embeddings, list(self._labels),
+                                              ann=self.config.ann)
+
+    # ------------------------------------------------------------------
+    # Embedding memo-cache
+    # ------------------------------------------------------------------
+    def embedding_generation(self) -> str:
+        """Content hash of the encoder weights — the cache generation stamp.
+
+        Two advisors with identical weights (e.g. one saved and reloaded on
+        a restarted serving node) share a generation, so persistent cache
+        entries stay valid across the restart; any retraining changes the
+        weights and therefore the stamp.
+        """
+        if self.encoder is None:
+            raise RuntimeError("AutoCE is not fitted; call fit() first")
+        if self._generation is None:
+            digest = hashlib.sha256()
+            for param in self.encoder.parameters():
+                data = np.ascontiguousarray(param.data)
+                digest.update(str(data.shape).encode())
+                digest.update(data.tobytes())
+            self._generation = digest.hexdigest()[:16]
+        return self._generation
+
+    def _serving_cache(self) -> LRUCache | PersistentLRUCache | None:
+        """The embedding cache, attaching the persistent tier on first use."""
+        config = self.config
+        if config.embedding_cache_size <= 0:
+            return self.embedding_cache
+        if config.embedding_cache_dir:
+            generation = self.embedding_generation()
+            if isinstance(self.embedding_cache, PersistentLRUCache):
+                self.embedding_cache.set_generation(generation)
+            else:
+                self.embedding_cache = PersistentLRUCache(
+                    config.embedding_cache_dir,
+                    maxsize=config.embedding_cache_size,
+                    generation=generation)
+        return self.embedding_cache
 
     def _invalidate_embedding_cache(self) -> None:
-        """Drop memoized embeddings after any encoder weight change."""
-        if self.embedding_cache is not None:
+        """Drop memoized embeddings after any encoder weight change.
+
+        The persistent cache re-stamps itself from the new weights on the
+        next lookup (see :meth:`_serving_cache`), which also wipes the
+        now-stale disk entries; the plain LRU is simply cleared.
+        """
+        self._generation = None
+        if isinstance(self.embedding_cache, PersistentLRUCache):
+            if self.encoder is not None:
+                self.embedding_cache.set_generation(self.embedding_generation())
+            else:
+                self.embedding_cache.clear()
+        elif self.embedding_cache is not None:
             self.embedding_cache.clear()
 
     # ------------------------------------------------------------------
@@ -147,7 +254,7 @@ class AutoCE:
     # ------------------------------------------------------------------
     def _embed_graphs(self, graphs: list[FeatureGraph]) -> np.ndarray:
         """Embed graphs through the memo-cache; misses share one forward."""
-        cache = self.embedding_cache
+        cache = self._serving_cache()
         if cache is None:
             return self.encoder.embed(graphs)
         out = np.empty((len(graphs), self.encoder.embedding_dim))
@@ -195,16 +302,16 @@ class AutoCE:
         """Batched serving: one GIN forward + one vectorized KNN for Q queries.
 
         Equivalent to ``[self.recommend(d, accuracy_weight, k) for d in
-        datasets]`` but orders of magnitude cheaper at high throughput: cache
-        misses are embedded together in a single forward pass and the KNN
-        search computes the full [Q, N] distance matrix with the Gram
-        identity and per-row ``argpartition``.
+        datasets]`` but orders of magnitude cheaper at high throughput: raw
+        datasets are featurized in parallel (``featurize_workers``), cache
+        misses are embedded together in a single forward pass, and the KNN
+        search runs one vectorized pass — exact below the ANN threshold, the
+        LSH index above it.
         """
         self._require_fitted()
         if not datasets:
             return []
-        graphs = [d if isinstance(d, FeatureGraph) else self.featurize(d)
-                  for d in datasets]
+        graphs = self.featurize_many(datasets)
         embeddings = self._embed_graphs(graphs)
         return self.predictor.recommend_batch(
             embeddings, self.rcs, accuracy_weight, k=k)

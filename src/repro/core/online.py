@@ -29,10 +29,14 @@ class DriftDetector:
     percentile: float = 90.0
 
     def threshold(self, rcs: RecommendationCandidateSet) -> float:
-        distances = rcs.nearest_neighbor_distances()
-        if len(distances) == 0:
+        # A 0- or 1-member RCS has no meaningful nearest-neighbor spread
+        # (``nearest_neighbor_distances`` degenerates to ``[0.0]`` for a
+        # single member, which would flag *every* dataset as drifted), so
+        # nothing counts as drift until there are at least two members.
+        if len(rcs) < 2:
             return np.inf
-        return float(np.percentile(distances, self.percentile))
+        return float(np.percentile(rcs.nearest_neighbor_distances(),
+                                   self.percentile))
 
     def distance_to_rcs(self, embedding: np.ndarray,
                         rcs: RecommendationCandidateSet) -> float:

@@ -36,7 +36,7 @@ from .dml import DMLConfig, DMLTrainer
 from .encoder import GINEncoder
 from .graph import FeatureGraph
 from .incremental import IncrementalConfig
-from .predictor import RecommendationCandidateSet
+from .predictor import ANNConfig, RecommendationCandidateSet
 
 #: Bump on any change to the on-disk layout.
 FORMAT_VERSION = 1
@@ -57,6 +57,10 @@ def _config_from_dict(payload: dict) -> AutoCEConfig:
     dml["weights"] = tuple(dml["weights"])
     payload["dml"] = DMLConfig(**dml)
     payload["incremental"] = IncrementalConfig(**payload["incremental"])
+    # Advisors saved before the scale-out serving fields existed load with
+    # the defaults (exact search, in-memory cache only).
+    if "ann" in payload:
+        payload["ann"] = ANNConfig(**payload["ann"])
     return AutoCEConfig(**payload)
 
 
@@ -78,10 +82,18 @@ def _label_to_dict(label: ScoreLabel) -> dict:
 def _label_from_dict(payload: dict) -> ScoreLabel:
     names = tuple(payload["model_names"])
     if payload["kind"] == "dataset":
-        kwargs = {name: payload.get(name) for name in _RAW_LABEL_FIELDS}
+        # JSON stores arrays as plain lists; hand DatasetLabel real float64
+        # arrays so reloaded labels behave bit-identically to the originals
+        # (indexing, percentile re-normalization, D-error).
+        kwargs = {
+            name: (None if payload.get(name) is None
+                   else np.asarray(payload[name], dtype=np.float64))
+            for name in _RAW_LABEL_FIELDS
+        }
         return DatasetLabel(model_names=names, **kwargs)
-    return ScoreLabel(model_names=names, sa=np.array(payload["sa"]),
-                      se=np.array(payload["se"]))
+    return ScoreLabel(model_names=names,
+                      sa=np.asarray(payload["sa"], dtype=np.float64),
+                      se=np.asarray(payload["se"], dtype=np.float64))
 
 
 def save_advisor(advisor: AutoCE, path: str) -> None:
@@ -152,7 +164,7 @@ def load_advisor(path: str) -> AutoCE:
             for i, name in enumerate(metadata["graph_names"])
         ]
         advisor.rcs = RecommendationCandidateSet(
-            data["rcs_embeddings"], list(advisor._labels))
+            data["rcs_embeddings"], list(advisor._labels), ann=config.ann)
 
     advisor.trainer = DMLTrainer(advisor.encoder, config.dml)
     return advisor

@@ -10,11 +10,22 @@ identity ``‖a − b‖² = ‖a‖² + ‖b‖² − 2·a·b`` (no O(n²·d) b
 neighbor selection uses ``argpartition`` plus a partial sort of the top-k
 instead of a full sort, and :meth:`KNNPredictor.recommend_batch` serves many
 queries against one ``[Q, N]`` distance matrix at once.
+
+Scale-out serving: neighbor search is abstracted behind the
+:class:`NeighborIndex` protocol.  :class:`ExactIndex` is the exhaustive
+Gram-identity search; :class:`ANNIndex` is a random-hyperplane LSH with
+multi-probe bucket expansion and exact re-ranking of the candidate pool,
+for RCS sizes (CardBench scale — thousands of labeled datasets) where the
+full ``[Q, N]`` scan dominates serving latency.  The RCS selects the ANN
+index automatically once its size crosses ``ANNConfig.threshold`` and keeps
+it fresh incrementally on :meth:`RecommendationCandidateSet.add` /
+:meth:`RecommendationCandidateSet.replace_embeddings`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -66,6 +77,306 @@ def top_k_neighbors(distances: np.ndarray, k: int) -> np.ndarray:
     return np.take_along_axis(idx, order, axis=1)
 
 
+def exact_search(queries: np.ndarray, embeddings: np.ndarray,
+                 k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Exhaustive k-NN: ([Q, k] indices, [Q, k] Euclidean distances)."""
+    distances = np.sqrt(squared_distance_matrix(queries, embeddings))
+    nearest = top_k_neighbors(distances, k)
+    return nearest, np.take_along_axis(distances, nearest, axis=1)
+
+
+@runtime_checkable
+class NeighborIndex(Protocol):
+    """Shared protocol of the exact and approximate serving indexes.
+
+    ``embeddings`` in :meth:`search` is always the *live* RCS matrix — the
+    index only accelerates candidate selection and re-ranks against the
+    source of truth, so it never has to copy (or risk serving stale copies
+    of) the embedding rows themselves.
+    """
+
+    def rebuild(self, embeddings: np.ndarray) -> None:
+        """(Re)index the full [N, d] embedding matrix."""
+
+    def add(self, embedding: np.ndarray) -> None:
+        """Index one appended row without re-hashing the existing corpus."""
+
+    def search(self, queries: np.ndarray, embeddings: np.ndarray,
+               k: int) -> tuple[np.ndarray, np.ndarray]:
+        """([Q, k] neighbor indices, [Q, k] Euclidean distances)."""
+
+
+class ExactIndex:
+    """The exhaustive Gram-identity search behind the index protocol."""
+
+    def rebuild(self, embeddings: np.ndarray) -> None:
+        pass
+
+    def add(self, embedding: np.ndarray) -> None:
+        pass
+
+    def search(self, queries: np.ndarray, embeddings: np.ndarray,
+               k: int) -> tuple[np.ndarray, np.ndarray]:
+        return exact_search(queries, embeddings, k)
+
+
+@dataclass
+class ANNConfig:
+    """Random-hyperplane LSH parameters for the approximate serving index."""
+
+    #: RCS size at which the advisor switches from exact to ANN search
+    #: (0 disables ANN entirely).
+    threshold: int = 1024
+    #: Independent hash tables; more tables = higher recall, more probes.
+    num_tables: int = 8
+    #: Hyperplanes (signature bits) per table; 0 = auto-size from the
+    #: indexed corpus size at rebuild time.
+    num_bits: int = 0
+    #: Extra buckets probed per table, flipping the signature bits whose
+    #: projection margin is smallest (the classic multi-probe heuristic).
+    num_probes: int = 4
+    #: Queries whose probed candidate pool is smaller than this fall back to
+    #: the exact search — the recall safety net for sparse bucket regions.
+    min_candidates: int = 16
+    #: Queries whose probed candidate pool exceeds this also fall back to
+    #: the exact scan: a pool that large means the hash sees no locality to
+    #: exploit, and one dense query must not widen the whole batch's padded
+    #: re-rank matrix (0 = never).
+    max_candidates: int = 1024
+    #: PCA-whiten embeddings before hashing (re-ranking always uses the raw
+    #: distances).  Graph-encoder embeddings concentrate most variance in
+    #: very few directions — sum pooling makes "corpus size along the mean
+    #: activation ray" dominant — and sign-of-projection hashes are blind
+    #: along a dominant axis unless the cloud is equalized first.
+    whiten: bool = True
+    seed: int = 0
+
+
+class ANNIndex:
+    """Multi-probe random-hyperplane LSH with exact candidate re-ranking.
+
+    Each of ``num_tables`` tables hashes an embedding to a ``num_bits``-bit
+    signature (the sign pattern of projections onto random hyperplanes,
+    taken around the corpus centroid so anisotropic embedding clouds still
+    spread over buckets).  A query gathers every member sharing a bucket in
+    any table — plus ``num_probes`` neighboring buckets per table, flipping
+    the lowest-margin signature bits — and re-ranks that candidate pool with
+    exact distances against the live embedding matrix.  Queries with too few
+    candidates fall back to the exhaustive scan, so results degrade toward
+    exact rather than toward empty.
+
+    :meth:`add` hashes only the appended row (bucket tables are re-sorted
+    lazily on the next search); :meth:`rebuild` re-hashes the corpus, which
+    is also how the index heals itself if it observes an embedding matrix
+    whose length it does not recognize.
+    """
+
+    def __init__(self, config: ANNConfig | None = None):
+        self.config = config or ANNConfig()
+        if self.config.num_tables < 1:
+            raise ValueError("num_tables must be positive")
+        self._projection: np.ndarray | None = None    # [d, L·b], whitening folded in
+        self._center: np.ndarray | None = None        # [d]
+        self._num_bits = 0
+        self._codes: np.ndarray | None = None         # [L, capacity] growth buffer
+        self._norms: np.ndarray | None = None         # [capacity] ‖x‖² per member
+        self._size = 0
+        self._order: np.ndarray | None = None         # [L, N] members by code
+        self._sorted_codes: np.ndarray | None = None  # [L, N]
+        self._stale_sort = True
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    def rebuild(self, embeddings: np.ndarray) -> None:
+        embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+        n, dim = embeddings.shape
+        config = self.config
+        bits = config.num_bits
+        if bits <= 0:
+            # Generous signatures (2^b buckets >> n) keep buckets near
+            # pure-locality collisions; recall then comes from the
+            # multi-probe expansion rather than coarse buckets.
+            bits = int(np.clip(np.ceil(np.log2(max(n, 2))) + 3, 8, 24))
+        self._num_bits = bits
+        rng = np.random.default_rng(config.seed)
+        hyperplanes = rng.standard_normal((config.num_tables * bits, dim))
+        self._center = (embeddings.mean(axis=0) if n else np.zeros(dim))
+        # The whitening transform composes with the hyperplanes into one
+        # [d, L·b] projection, so equalizing the embedding cloud costs
+        # nothing per query.
+        self._projection = hyperplanes.T
+        if config.whiten and n > 1:
+            centered = embeddings - self._center
+            eigvals, eigvecs = np.linalg.eigh(centered.T @ centered / n)
+            top = float(eigvals.max())
+            if top > 0.0:
+                scale = 1.0 / np.sqrt(np.maximum(eigvals, 1e-9 * top))
+                self._projection = (eigvecs * scale) @ hyperplanes.T
+        codes, _ = self._signatures(embeddings)
+        capacity = max(4, n)
+        self._codes = np.zeros((config.num_tables, capacity), dtype=np.int64)
+        self._codes[:, :n] = codes.T
+        self._norms = np.zeros(capacity)
+        self._norms[:n] = (embeddings * embeddings).sum(axis=1)
+        self._size = n
+        self._stale_sort = True
+
+    def add(self, embedding: np.ndarray) -> None:
+        embedding = np.asarray(embedding, dtype=np.float64).reshape(1, -1)
+        if self._projection is None:
+            self.rebuild(embedding)
+            return
+        codes, _ = self._signatures(embedding)
+        if self._size == self._codes.shape[1]:
+            grown = np.zeros((self.config.num_tables, 2 * self._size),
+                             dtype=np.int64)
+            grown[:, :self._size] = self._codes[:, :self._size]
+            self._codes = grown
+            grown_norms = np.zeros(2 * self._size)
+            grown_norms[:self._size] = self._norms[:self._size]
+            self._norms = grown_norms
+        self._codes[:, self._size] = codes[0]
+        self._norms[self._size] = float((embedding * embedding).sum())
+        self._size += 1
+        self._stale_sort = True
+
+    # ------------------------------------------------------------------
+    def _signatures(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """([Q, L] bucket codes, [Q, L, b] signed projection margins)."""
+        proj = (x - self._center) @ self._projection
+        proj = proj.reshape(len(x), self.config.num_tables, self._num_bits)
+        codes = (proj > 0) @ (np.int64(1) << np.arange(self._num_bits))
+        return codes, proj
+
+    def _refresh_sort(self) -> None:
+        if not self._stale_sort:
+            return
+        codes = self._codes[:, :self._size]
+        self._order = np.argsort(codes, axis=1, kind="stable")
+        self._sorted_codes = np.take_along_axis(codes, self._order, axis=1)
+        self._stale_sort = False
+
+    def _probe_codes(self, queries: np.ndarray) -> np.ndarray:
+        """[Q, L, 1 + p] bucket codes to visit per query and table."""
+        codes, proj = self._signatures(queries)
+        probes = min(self.config.num_probes, self._num_bits)
+        out = np.empty(codes.shape + (1 + probes,), dtype=np.int64)
+        out[..., 0] = codes
+        if probes:
+            # Flip the bits closest to their hyperplane: the buckets a near
+            # neighbor is most likely to have landed in instead.
+            flips = np.argsort(np.abs(proj), axis=2)[:, :, :probes]
+            out[..., 1:] = codes[:, :, None] ^ (np.int64(1) << flips)
+        return out
+
+    def _candidate_pairs(self, probe: np.ndarray,
+                         num_queries: int) -> tuple[np.ndarray, np.ndarray]:
+        """Unique (query, member) pairs over all probed buckets."""
+        per_query = probe.shape[2]
+        qid_base = np.repeat(np.arange(num_queries), per_query)
+        qid_parts: list[np.ndarray] = []
+        member_parts: list[np.ndarray] = []
+        for table in range(self.config.num_tables):
+            wanted = probe[:, table, :].ravel()
+            sorted_codes = self._sorted_codes[table]
+            lo = np.searchsorted(sorted_codes, wanted, side="left")
+            hi = np.searchsorted(sorted_codes, wanted, side="right")
+            counts = hi - lo
+            total = int(counts.sum())
+            if total == 0:
+                continue
+            # Vectorized ragged expansion of the [lo, hi) bucket ranges.
+            starts = np.repeat(lo, counts)
+            bases = np.repeat(np.cumsum(counts) - counts, counts)
+            flat = starts + np.arange(total) - bases
+            member_parts.append(self._order[table][flat])
+            qid_parts.append(np.repeat(qid_base, counts))
+        if not member_parts:
+            return (np.empty(0, dtype=np.int64),) * 2
+        # Dedup across tables/probes on the packed (query, member) key; the
+        # sorted keys come back grouped by query with members ascending —
+        # the order the re-rank's lowest-index tie-breaking relies on.
+        keys = np.sort(np.concatenate(qid_parts) * np.int64(self._size)
+                       + np.concatenate(member_parts))
+        keep = np.empty(len(keys), dtype=bool)
+        keep[0] = True
+        np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+        return np.divmod(keys[keep], self._size)
+
+    def _rerank(self, rows: np.ndarray, member: np.ndarray, pool: np.ndarray,
+                offsets: np.ndarray, queries: np.ndarray,
+                query_norms: np.ndarray, embeddings: np.ndarray,
+                k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Exact re-rank of the candidate pools of the ``rows`` queries.
+
+        The pools are padded to the subset's maximum width and the dot
+        products run as one batched GEMM against the query vectors (the
+        Gram identity again, with member norms precomputed at index time);
+        inf padding never wins the top-k.  Within a row candidates are in
+        ascending member order, so the lowest-index tie-break of
+        ``top_k_neighbors`` matches the exhaustive search.
+        """
+        counts = pool[rows]
+        width = int(counts.max())
+        flat = (np.repeat(offsets[rows], counts)
+                + np.arange(int(counts.sum()))
+                - np.repeat(np.cumsum(counts) - counts, counts))
+        rowid = np.repeat(np.arange(len(rows)), counts)
+        position = flat - np.repeat(offsets[rows], counts)
+        members = np.zeros((len(rows), width), dtype=np.int64)
+        members[rowid, position] = member[flat]
+        dots = (embeddings[members] @ queries[rows][:, :, None])[:, :, 0]
+        padded = np.maximum(
+            self._norms[members] + query_norms[rows][:, None] - 2.0 * dots,
+            0.0)
+        padded[np.arange(width) >= counts[:, None]] = np.inf
+        local = top_k_neighbors(padded, k)
+        return (np.take_along_axis(members, local, axis=1),
+                np.sqrt(np.take_along_axis(padded, local, axis=1)))
+
+    def search(self, queries: np.ndarray, embeddings: np.ndarray,
+               k: int) -> tuple[np.ndarray, np.ndarray]:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        n = len(embeddings)
+        if n != self._size or self._projection is None:
+            self.rebuild(embeddings)
+        k = min(k, n)
+        floor = min(max(k, self.config.min_candidates), n)
+        if n <= floor:
+            return exact_search(queries, embeddings, k)
+        self._refresh_sort()
+        num_queries = len(queries)
+        qid, member = self._candidate_pairs(self._probe_codes(queries),
+                                            num_queries)
+        pool = np.bincount(qid, minlength=num_queries)
+        offsets = np.cumsum(pool) - pool
+        fallback = pool < floor
+        if self.config.max_candidates > 0:
+            fallback |= pool > self.config.max_candidates
+        active = np.nonzero(~fallback)[0]
+        if active.size == 0:
+            return exact_search(queries, embeddings, k)
+
+        indices = np.empty((num_queries, k), dtype=np.int64)
+        distances = np.empty((num_queries, k))
+        query_norms = (queries * queries).sum(axis=1)
+        # Re-rank in geometric pool-size bins: a handful of dense queries
+        # must not widen the padded candidate matrix of the (typically much
+        # smaller) median pool.  frexp's exponent is floor(log2) + 1.
+        levels = np.frexp(pool[active].astype(np.float64))[1]
+        for level in np.unique(levels):
+            rows = active[levels == level]
+            indices[rows], distances[rows] = self._rerank(
+                rows, member, pool, offsets, queries, query_norms,
+                embeddings, k)
+        if fallback.any():
+            indices[fallback], distances[fallback] = exact_search(
+                queries[fallback], embeddings, k)
+        return indices, distances
+
+
 @dataclass
 class Recommendation:
     """Outcome of one AutoCE recommendation."""
@@ -88,10 +399,17 @@ class RecommendationCandidateSet:
     adaptation path can :meth:`add` members in O(1) amortized instead of
     re-allocating the whole matrix per insert.  Score matrices (one per
     accuracy weight) are memoized for the batched KNN.
+
+    Neighbor queries go through :meth:`search`.  Small candidate sets use
+    the exact Gram-identity scan; when an :class:`ANNConfig` is supplied and
+    the membership crosses ``ANNConfig.threshold``, an :class:`ANNIndex` is
+    attached automatically and kept fresh on :meth:`add` (incremental) and
+    :meth:`replace_embeddings` (full re-hash).
     """
 
     def __init__(self, embeddings: np.ndarray | None = None,
-                 labels: list[ScoreLabel] | None = None):
+                 labels: list[ScoreLabel] | None = None,
+                 ann: ANNConfig | None = None):
         embeddings = (np.zeros((0, 0)) if embeddings is None
                       else np.asarray(embeddings, dtype=np.float64))
         self.labels: list[ScoreLabel] = list(labels or [])
@@ -100,6 +418,9 @@ class RecommendationCandidateSet:
         self._buffer = np.array(embeddings, dtype=np.float64)
         self._size = len(embeddings)
         self._score_cache: dict[float, np.ndarray] = {}
+        self.ann_config = ann
+        self._index: NeighborIndex | None = None
+        self._sync_index()
 
     def __len__(self) -> int:
         return len(self.labels)
@@ -110,10 +431,23 @@ class RecommendationCandidateSet:
         return self._buffer[:self._size]
 
     @property
+    def index(self) -> NeighborIndex | None:
+        """The attached neighbor index (None = inline exact search)."""
+        return self._index
+
+    @property
     def model_names(self) -> tuple[str, ...]:
         if not self.labels:
             raise ValueError("empty RCS")
         return self.labels[0].model_names
+
+    def _sync_index(self) -> None:
+        """Attach the ANN index once membership crosses the threshold."""
+        config = self.ann_config
+        if (self._index is None and config is not None and config.threshold > 0
+                and self._size >= config.threshold):
+            self._index = ANNIndex(config)
+            self._index.rebuild(self.embeddings)
 
     def add(self, embedding: np.ndarray, label: ScoreLabel) -> None:
         embedding = np.asarray(embedding, dtype=np.float64).ravel()
@@ -133,6 +467,10 @@ class RecommendationCandidateSet:
         self._size += 1
         self.labels.append(label)
         self._score_cache.clear()
+        if self._index is not None:
+            self._index.add(embedding)
+        else:
+            self._sync_index()
 
     def replace_embeddings(self, embeddings: np.ndarray) -> None:
         """Refresh stored embeddings after the encoder is retrained."""
@@ -142,6 +480,19 @@ class RecommendationCandidateSet:
         self._buffer = np.array(embeddings, dtype=np.float64)
         self._size = len(embeddings)
         self._score_cache.clear()
+        if self._index is not None:
+            self._index.rebuild(self.embeddings)
+        else:
+            self._sync_index()
+
+    def search(self, queries: np.ndarray,
+               k: int) -> tuple[np.ndarray, np.ndarray]:
+        """k nearest members per query: ([Q, k] indices, [Q, k] distances)."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        k = min(k, self._size)
+        if self._index is None:
+            return exact_search(queries, self.embeddings, k)
+        return self._index.search(queries, self.embeddings, k)
 
     def score_matrix(self, accuracy_weight: float) -> np.ndarray:
         """Memoized [N, m] matrix of member score vectors at one weight."""
@@ -165,7 +516,10 @@ class RecommendationCandidateSet:
 class KNNPredictor:
     """Eq. 13: average the k nearest labels and pick the top ranker.
 
-    The paper finds k = 2 optimal (Table IV); that is the default.
+    The paper finds k = 2 optimal (Table IV); that is the default.  Neighbor
+    search is delegated to :meth:`RecommendationCandidateSet.search`, so the
+    predictor transparently uses whichever :class:`NeighborIndex` the RCS
+    has selected (exact below the ANN threshold, LSH above it).
     """
 
     def __init__(self, k: int = 2):
@@ -175,21 +529,9 @@ class KNNPredictor:
 
     def recommend(self, embedding: np.ndarray, rcs: RecommendationCandidateSet,
                   accuracy_weight: float, k: int | None = None) -> Recommendation:
-        if len(rcs) == 0:
-            raise ValueError("cannot recommend from an empty RCS")
-        k = k if k is not None else self.k
-        k = min(k, len(rcs))
-        distances = np.sqrt(((rcs.embeddings - embedding) ** 2).sum(axis=1))
-        nearest = top_k_neighbors(distances, k)[0]
-        score = rcs.score_matrix(accuracy_weight)[nearest].mean(axis=0)
-        names = rcs.model_names
-        return Recommendation(
-            model=names[int(np.argmax(score))],
-            score_vector=score,
-            model_names=names,
-            neighbor_indices=nearest,
-            neighbor_distances=distances[nearest],
-        )
+        return self.recommend_batch(
+            np.atleast_2d(np.asarray(embedding, dtype=np.float64)),
+            rcs, accuracy_weight, k=k)[0]
 
     def recommend_batch(self, embeddings: np.ndarray,
                         rcs: RecommendationCandidateSet,
@@ -197,21 +539,19 @@ class KNNPredictor:
                         k: int | None = None) -> list[Recommendation]:
         """Vectorized Eq. 13 for Q queries at once.
 
-        One [Q, N] Gram-identity distance matrix, one ``argpartition`` per
-        row, and one gather over the memoized score matrix replace Q
-        independent full-sort searches.
+        One [Q, N] Gram-identity distance matrix (or one ANN probe pass),
+        one ``argpartition`` per row, and one gather over the memoized score
+        matrix replace Q independent full-sort searches.
         """
         if len(rcs) == 0:
             raise ValueError("cannot recommend from an empty RCS")
         embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
         k = k if k is not None else self.k
         k = min(k, len(rcs))
-        distances = np.sqrt(squared_distance_matrix(embeddings, rcs.embeddings))
-        nearest = top_k_neighbors(distances, k)                      # [Q, k]
+        nearest, neighbor_distances = rcs.search(embeddings, k)   # [Q, k]
         scores = rcs.score_matrix(accuracy_weight)[nearest].mean(axis=1)
         best = np.argmax(scores, axis=1)
         names = rcs.model_names
-        neighbor_distances = np.take_along_axis(distances, nearest, axis=1)
         return [
             Recommendation(
                 model=names[int(best[i])],

@@ -1,21 +1,37 @@
-"""A small content-addressed disk cache.
+"""In-memory, on-disk and layered caches for the labeling and serving paths.
 
 The experiment harness labels corpora of datasets by training and testing all
 candidate CE models — the expensive step the paper calls "dataset labeling".
 Results are cached on disk keyed by a stable hash of the experiment
 configuration, so every benchmark shares one labeling pass.
+
+Serving nodes use the same building blocks for the embedding memo-cache:
+:class:`LRUCache` bounds the in-memory working set, :class:`DiskCache` gives
+crash-safe persistence, and :class:`PersistentLRUCache` layers the two so a
+restarted node warm-starts from disk instead of re-running the GIN forward
+for every dataset it has already served.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
+import os
 import pickle
+import re
 from collections import OrderedDict
 from pathlib import Path
 
 #: Sentinel distinguishing "missing" from a cached ``None``.
 MISSING = object()
+
+#: Keys that are already safe to use verbatim as file stems.
+_SAFE_KEY = re.compile(r"^[A-Za-z0-9._-]{1,80}$")
+
+#: Process-wide counter making concurrent temp-file names unique within one
+#: process; the pid disambiguates across processes.
+_TMP_COUNTER = itertools.count()
 
 
 class LRUCache:
@@ -66,13 +82,25 @@ def stable_hash(obj) -> str:
 
 
 class DiskCache:
-    """Pickle-backed key/value store under a cache directory."""
+    """Pickle-backed key/value store under a cache directory.
+
+    Writes are atomic (unique temp file + ``os.replace``) so concurrent
+    writers — including separate processes sharing one cache directory —
+    never expose a torn pickle.  Reads treat corrupt or concurrently
+    deleted entries as misses rather than raising mid-serve.
+    """
 
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
 
     def _path(self, key: str) -> Path:
+        # Keys may be arbitrary strings (fingerprints, config reprs, even
+        # paths); anything that is not a plainly safe file stem is hashed so
+        # it cannot escape the cache directory or collide with temp files.
+        key = str(key)
+        if not _SAFE_KEY.match(key):
+            key = hashlib.sha256(key.encode("utf-8")).hexdigest()
         return self.directory / f"{key}.pkl"
 
     def __contains__(self, key: str) -> bool:
@@ -80,21 +108,145 @@ class DiskCache:
 
     def get(self, key: str, default=None):
         path = self._path(key)
-        if not path.exists():
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
             return default
-        with open(path, "rb") as handle:
-            return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError):
+            # A torn write from a crashed process, or an entry pickled by an
+            # incompatible code version: drop it and report a miss.  (A
+            # transient MemoryError is deliberately *not* caught — it is no
+            # evidence of corruption and must not destroy the entry.)
+            self._discard(path)
+            return default
 
     def put(self, key: str, value) -> None:
         path = self._path(key)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "wb") as handle:
-            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp.replace(path)
+        # Unique per writer: two processes (or threads) writing the same key
+        # must never share a temp file, or the loser of the race publishes a
+        # torn pickle via the atomic replace below.
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp")
+        try:
+            try:
+                handle = open(tmp, "wb")
+            except FileNotFoundError:
+                # The cache directory vanished (operator cleanup, tmpfs
+                # wipe): recreate it rather than crash mid-serve.
+                self.directory.mkdir(parents=True, exist_ok=True)
+                handle = open(tmp, "wb")
+            with handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            self._discard(tmp)
+
+    def clear(self) -> None:
+        for path in self.directory.glob("*.pkl"):
+            self._discard(path)
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def get_or_compute(self, key: str, compute):
-        if key in self:
-            return self.get(key)
+        value = self.get(key, MISSING)
+        if value is not MISSING:
+            return value
         value = compute()
         self.put(key, value)
         return value
+
+
+class PersistentLRUCache:
+    """An :class:`LRUCache` write-through layered over a :class:`DiskCache`.
+
+    Serving nodes keep their embedding memo-cache here: the in-memory LRU
+    bounds the hot working set while every entry is also persisted, so a node
+    restarted from :func:`~repro.core.persistence.load_advisor` serves its
+    first repeat query from disk instead of re-running the GIN forward.
+
+    Entries are stamped with a *generation* — on the serving path, a content
+    hash of the encoder weights — folded into every disk key, so an entry
+    written under one generation can never be served under another even if
+    a straggler process with an outdated advisor shares the cache directory.
+    Whenever the generation changes (``fit`` / ``adapt_online`` retrained
+    the encoder) the memory tier is dropped and old-generation disk entries
+    are garbage-collected; reopening the cache with the generation the
+    entries were written under keeps them valid.
+
+    ``hits`` / ``misses`` mirror the plain LRU counters; ``disk_hits`` counts
+    the subset of hits that had to be promoted from disk.
+    """
+
+    #: Disk key of the metadata record holding the current generation.
+    _META_KEY = "cache-meta"
+
+    def __init__(self, directory: str | Path, maxsize: int = 1024,
+                 generation: str = "0"):
+        self.memory = LRUCache(maxsize)
+        self.disk = DiskCache(directory)
+        self.disk_hits = 0
+        self.generation = str(generation)
+        meta = self.disk.get(self._META_KEY)
+        if not isinstance(meta, dict) or meta.get("generation") != self.generation:
+            # Old-generation files are unreachable anyway (the generation is
+            # part of every key); clearing them is garbage collection.
+            self.disk.clear()
+            self.disk.put(self._META_KEY, {"generation": self.generation})
+
+    def _disk_key(self, key) -> str:
+        return f"{self.generation}:{key}"
+
+    @property
+    def hits(self) -> int:
+        """Hits of the layered cache: served from memory *or* from disk."""
+        return self.memory.hits + self.disk_hits
+
+    @property
+    def misses(self) -> int:
+        # Disk promotions first record an LRU miss; subtract them so the
+        # combined counters describe the layered cache, not the LRU alone.
+        return self.memory.misses - self.disk_hits
+
+    def __len__(self) -> int:
+        return len(self.memory)
+
+    def __contains__(self, key) -> bool:
+        return key in self.memory or self._disk_key(key) in self.disk
+
+    def get(self, key, default=None):
+        value = self.memory.get(key, MISSING)
+        if value is not MISSING:
+            return value
+        value = self.disk.get(self._disk_key(key), MISSING)
+        if value is MISSING:
+            return default
+        self.disk_hits += 1
+        self.memory.put(key, value)
+        return value
+
+    def put(self, key, value) -> None:
+        self.memory.put(key, value)
+        self.disk.put(self._disk_key(key), value)
+
+    def set_generation(self, generation: str) -> None:
+        """Invalidate every entry unless ``generation`` matches the stamp."""
+        generation = str(generation)
+        if generation == self.generation:
+            return
+        self.generation = generation
+        self.memory.clear()
+        self.disk.clear()
+        self.disk.put(self._META_KEY, {"generation": generation})
+
+    def clear(self) -> None:
+        """Drop all entries (memory and disk) within the current generation."""
+        self.memory.clear()
+        self.disk.clear()
+        self.disk.put(self._META_KEY, {"generation": self.generation})

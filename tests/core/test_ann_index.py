@@ -1,0 +1,169 @@
+"""ANN serving index: protocol, equivalence, recall, auto-selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import (ANNConfig, ANNIndex, ExactIndex,
+                                  KNNPredictor, NeighborIndex,
+                                  RecommendationCandidateSet, exact_search)
+from repro.testbed.scores import DatasetLabel
+
+MODELS = ("A", "B", "C")
+
+
+def make_label(rng):
+    return DatasetLabel(MODELS, rng.uniform(1, 10, 3),
+                        rng.uniform(0.001, 0.01, 3))
+
+
+def clustered(rng, n, dim=16, clusters=32, sigma=0.15):
+    centers = rng.normal(size=(clusters, dim))
+    assign = rng.integers(0, clusters, size=n)
+    return centers[assign] + sigma * rng.normal(size=(n, dim)), centers
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestProtocol:
+    def test_both_indexes_satisfy_protocol(self):
+        assert isinstance(ExactIndex(), NeighborIndex)
+        assert isinstance(ANNIndex(), NeighborIndex)
+
+    def test_exact_index_matches_exact_search(self, rng):
+        emb = rng.normal(size=(40, 8))
+        queries = rng.normal(size=(5, 8))
+        idx, dist = ExactIndex().search(queries, emb, 3)
+        ei, ed = exact_search(queries, emb, 3)
+        np.testing.assert_array_equal(idx, ei)
+        np.testing.assert_allclose(dist, ed)
+
+
+class TestANNFallsBackToExact:
+    """Below ``min_candidates`` corpus sizes the index must be exact."""
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 16])
+    def test_small_corpus_equivalence(self, rng, n):
+        emb = rng.normal(size=(n, 6))
+        queries = rng.normal(size=(8, 6))
+        index = ANNIndex(ANNConfig(seed=0))
+        index.rebuild(emb)
+        for k in (1, 2, 5):
+            ai, ad = index.search(queries, emb, k)
+            ei, ed = exact_search(queries, emb, min(k, n))
+            np.testing.assert_array_equal(ai, ei)
+            np.testing.assert_allclose(ad, ed, rtol=1e-9, atol=1e-9)
+
+    def test_sparse_buckets_fall_back_per_query(self, rng):
+        emb, centers = clustered(rng, 400, clusters=8)
+        index = ANNIndex(ANNConfig(min_candidates=16, seed=0))
+        index.rebuild(emb)
+        # A query far outside every cluster hashes into empty buckets; the
+        # per-query fallback must still return the true neighbors.
+        outlier = np.full((1, emb.shape[1]), 40.0)
+        ai, _ = index.search(outlier, emb, 3)
+        ei, _ = exact_search(outlier, emb, 3)
+        np.testing.assert_array_equal(ai, ei)
+
+
+class TestANNRecall:
+    def test_high_recall_on_clustered_corpus(self, rng):
+        emb, centers = clustered(rng, 2000, clusters=40)
+        queries = (centers[rng.integers(0, 40, size=64)]
+                   + 0.15 * rng.normal(size=(64, emb.shape[1])))
+        index = ANNIndex(ANNConfig(seed=0))
+        index.rebuild(emb)
+        ai, _ = index.search(queries, emb, 5)
+        ei, _ = exact_search(queries, emb, 5)
+        recall = np.mean([len(set(a) & set(e)) / 5 for a, e in zip(ai, ei)])
+        assert recall >= 0.95
+
+    def test_distances_are_sorted_and_exact(self, rng):
+        emb, centers = clustered(rng, 1200, clusters=24)
+        queries = rng.normal(size=(16, emb.shape[1]))
+        index = ANNIndex(ANNConfig(seed=0))
+        index.rebuild(emb)
+        ai, ad = index.search(queries, emb, 4)
+        assert np.all(np.diff(ad, axis=1) >= 0)
+        # Reported distances are true Euclidean distances to the members.
+        for q in range(len(queries)):
+            true = np.sqrt(((emb[ai[q]] - queries[q]) ** 2).sum(axis=1))
+            np.testing.assert_allclose(ad[q], true, rtol=1e-9, atol=1e-9)
+
+
+class TestIncrementalMaintenance:
+    def test_add_indexes_new_members(self, rng):
+        emb, _ = clustered(rng, 600, clusters=12)
+        index = ANNIndex(ANNConfig(min_candidates=4, seed=0))
+        index.rebuild(emb[:500])
+        for row in emb[500:]:
+            index.add(row)
+        assert len(index) == 600
+        # A query placed exactly on a late addition must find it.
+        target = emb[599]
+        ai, _ = index.search(target, emb, 1)
+        ei, _ = exact_search(target[None, :], emb, 1)
+        np.testing.assert_array_equal(ai, ei)
+
+    def test_search_heals_from_unseen_matrix(self, rng):
+        emb, _ = clustered(rng, 300, clusters=6)
+        index = ANNIndex(ANNConfig(seed=0))
+        index.rebuild(emb[:100])
+        # The matrix grew without the index being told: it must re-index
+        # rather than serve results over a stale view.
+        ai, _ = index.search(emb[:4], emb, 1)
+        np.testing.assert_array_equal(ai.ravel(), np.arange(4))
+        assert len(index) == 300
+
+
+class TestRCSAutoSelection:
+    def test_index_attached_when_threshold_crossed(self, rng):
+        ann = ANNConfig(threshold=64, min_candidates=4, seed=0)
+        rcs = RecommendationCandidateSet(ann=ann)
+        emb, _ = clustered(rng, 80, dim=8, clusters=4)
+        for i, row in enumerate(emb):
+            rcs.add(row, make_label(rng))
+            if len(rcs) < 64:
+                assert rcs.index is None
+        assert isinstance(rcs.index, ANNIndex)
+        assert len(rcs.index) == len(rcs)
+
+    def test_threshold_zero_disables_ann(self, rng):
+        rcs = RecommendationCandidateSet(ann=ANNConfig(threshold=0))
+        for row in rng.normal(size=(40, 4)):
+            rcs.add(row, make_label(rng))
+        assert rcs.index is None
+
+    def test_replace_embeddings_rebuilds_index(self, rng):
+        ann = ANNConfig(threshold=16, min_candidates=4, seed=0)
+        emb, _ = clustered(rng, 64, dim=8, clusters=4)
+        labels = [make_label(rng) for _ in range(64)]
+        rcs = RecommendationCandidateSet(emb, labels, ann=ann)
+        assert isinstance(rcs.index, ANNIndex)
+        shifted = emb + 3.0
+        rcs.replace_embeddings(shifted)
+        ai, _ = rcs.search(shifted[:3], 2)
+        ei, _ = exact_search(shifted[:3], shifted, 2)
+        np.testing.assert_array_equal(ai, ei)
+
+    def test_predictor_equivalent_through_rcs_search(self, rng):
+        """ANN-vs-exact equivalence at sizes where ANN must be exact."""
+        emb, _ = clustered(rng, 48, dim=8, clusters=4)
+        labels = [make_label(rng) for _ in range(48)]
+        with_ann = RecommendationCandidateSet(
+            emb, list(labels), ann=ANNConfig(threshold=16, seed=0))
+        without = RecommendationCandidateSet(emb, list(labels))
+        assert isinstance(with_ann.index, ANNIndex)
+        predictor = KNNPredictor(k=3)
+        queries = rng.normal(size=(12, 8))
+        recs_a = predictor.recommend_batch(queries, with_ann, 0.8)
+        recs_e = predictor.recommend_batch(queries, without, 0.8)
+        for a, e in zip(recs_a, recs_e):
+            assert a.model == e.model
+            np.testing.assert_array_equal(a.neighbor_indices,
+                                          e.neighbor_indices)
+            np.testing.assert_allclose(a.score_vector, e.score_vector)

@@ -146,3 +146,41 @@ class TestLabelPayloads:
         assert isinstance(restored, DatasetLabel)
         assert restored.qerror_p95 is None
         np.testing.assert_allclose(restored.qerror_means, [1, 2, 3])
+
+    def test_reloaded_arrays_are_float64_ndarrays(self):
+        label = DatasetLabel(MODELS, [1.5, 2.0, 3.0], [0.1, 0.2, 0.3],
+                             qerror_medians=[1.0, 2.0, 3.0],
+                             qerror_p95=[2.0, 5.0, 9.0],
+                             qerror_p99=[3.0, 8.0, 12.0],
+                             fit_times=[0.5, 0.6, 0.7])
+        restored = _label_from_dict(_label_to_dict(label))
+        for name in ("qerror_means", "latency_means", "qerror_medians",
+                     "fit_times", "qerror_p95", "qerror_p99", "sa", "se"):
+            value = getattr(restored, name)
+            assert isinstance(value, np.ndarray), name
+            assert value.dtype == np.float64, name
+
+    def test_reloaded_label_behaves_identically(self):
+        """Save → load → re-normalize: every derived quantity must match."""
+        label = DatasetLabel(MODELS, [1.5, 2.0, 3.0], [0.1, 0.2, 0.3],
+                             qerror_medians=[1.0, 2.0, 3.0],
+                             qerror_p95=[2.0, 5.0, 9.0],
+                             qerror_p99=[3.0, 8.0, 12.0])
+        restored = _label_from_dict(_label_to_dict(label))
+        for w in (1.0, 0.6, 0.0):
+            np.testing.assert_array_equal(restored.score_vector(w),
+                                          label.score_vector(w))
+            assert restored.best_model(w) == label.best_model(w)
+            for model in MODELS:
+                assert restored.d_error(model, w) == label.d_error(model, w)
+        for metric in ("median", "p95", "p99"):
+            a = restored.with_accuracy_metric(metric)
+            b = label.with_accuracy_metric(metric)
+            np.testing.assert_array_equal(a.sa, b.sa)
+            np.testing.assert_array_equal(a.se, b.se)
+        # Array-indexed operations (fancy indexing would reject raw Python
+        # lists if the load path ever stopped coercing) survive a reload.
+        sub = restored.subset(["C", "A"])
+        np.testing.assert_array_equal(sub.qerror_means, [3.0, 1.5])
+        np.testing.assert_array_equal(restored.label_matrix(),
+                                      label.label_matrix())

@@ -106,6 +106,31 @@ class TestLabelAndRecommend:
                      "--k", "1"]) == 0
         assert "recommended model:" in capsys.readouterr().out
 
+    def test_serve_batch(self, advisor_file, dataset_file, tmp_path, capsys):
+        other = str(tmp_path / "other.npz")
+        main(["generate", "--seed", "11", "--out", other])
+        code = main(["serve", dataset_file, other, "--advisor", advisor_file,
+                     "--weight", "0.8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 2 recommendations" in out
+        assert "embedding cache (in-memory)" in out
+        assert "neighbor search: exact" in out
+
+    def test_serve_warm_starts_from_cache_dir(self, advisor_file,
+                                              dataset_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "serve-cache")
+        args = ["serve", dataset_file, "--advisor", advisor_file,
+                "--cache-dir", cache_dir]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "0 hits / 1 misses" in cold
+        # A fresh process (new load_advisor) serves the repeat from disk.
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "1 hits / 0 misses" in warm
+        assert "(1 served from disk)" in warm
+
 
 class TestModels:
     def test_lists_registry(self, capsys):

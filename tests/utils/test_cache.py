@@ -1,0 +1,182 @@
+"""Cache-layer tests: LRU accounting, DiskCache crash safety, persistence."""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.utils.cache import (MISSING, DiskCache, LRUCache,
+                               PersistentLRUCache)
+
+
+class TestLRUCache:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1          # refresh "a"
+        cache.put("c", 3)                   # evicts "b", not "a"
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(maxsize=4)
+        assert cache.get("missing") is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.put("none", None)
+        assert cache.get("none") is None    # a cached None is a *hit*
+        assert (cache.hits, cache.misses) == (2, 1)
+
+    def test_eviction_keeps_size_bounded(self):
+        cache = LRUCache(maxsize=3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3
+        assert set(cache._data) == {7, 8, 9}
+
+    def test_put_existing_refreshes(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)                  # refresh, not duplicate
+        cache.put("c", 3)                   # evicts "b"
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+def _hammer(args):
+    directory, worker, rounds = args
+    cache = DiskCache(directory)
+    for i in range(rounds):
+        # Every worker fights over the same small key space.
+        cache.put(f"key{i % 4}", {"worker": worker, "round": i,
+                                  "payload": list(range(200))})
+        value = cache.get(f"key{i % 4}")
+        # A concurrent write may race this read, but the value must always
+        # be either a complete record or a miss — never a torn pickle.
+        assert value is None or len(value["payload"]) == 200
+    return worker
+
+
+class TestDiskCache:
+    def test_round_trip_and_contains(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("x", {"a": np.arange(3)})
+        assert "x" in cache
+        np.testing.assert_array_equal(cache.get("x")["a"], np.arange(3))
+        assert cache.get("nope", 42) == 42
+
+    def test_unsafe_keys_cannot_escape_directory(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache")
+        for key in ("../escape", "a/b/c", "..", "con?.txt", "x" * 300, ""):
+            cache.put(key, key)
+            assert cache.get(key) == key
+            assert "escape" not in {p.name for p in tmp_path.iterdir()}
+        # Everything landed inside the cache directory.
+        for path in (tmp_path / "cache").iterdir():
+            assert path.parent == tmp_path / "cache"
+        # Distinct unsafe keys must not collide.
+        cache.put("../a", 1)
+        cache.put("../b", 2)
+        assert cache.get("../a") == 1 and cache.get("../b") == 2
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("k", "value")
+        path = cache._path("k")
+        path.write_bytes(pickle.dumps("value")[:3])   # torn write
+        assert cache.get("k", "fallback") == "fallback"
+        assert not path.exists()                      # corpse discarded
+        cache.put("k", "again")                       # and the key reusable
+        assert cache.get("k") == "again"
+
+    def test_get_or_compute_caches_none(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return None
+
+        assert cache.get_or_compute("k", compute) is None
+        assert cache.get_or_compute("k", compute) is None
+        assert len(calls) == 1
+
+    def test_no_leftover_tmp_files(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        for i in range(10):
+            cache.put("k", i)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_concurrent_writers_never_produce_torn_pickles(self, tmp_path):
+        workers = 4
+        with multiprocessing.get_context("spawn").Pool(workers) as pool:
+            done = pool.map(_hammer,
+                            [(str(tmp_path), w, 25) for w in range(workers)])
+        assert sorted(done) == list(range(workers))
+        # After the dust settles every surviving entry is readable.
+        cache = DiskCache(tmp_path)
+        for i in range(4):
+            value = cache.get(f"key{i}")
+            assert value is not None and len(value["payload"]) == 200
+
+
+class TestPersistentLRUCache:
+    def test_write_through_and_restart_warm_start(self, tmp_path):
+        cache = PersistentLRUCache(tmp_path, maxsize=8, generation="g1")
+        cache.put("k", np.arange(4.0))
+        # A "restarted node": fresh memory tier, same directory + generation.
+        reborn = PersistentLRUCache(tmp_path, maxsize=8, generation="g1")
+        np.testing.assert_array_equal(reborn.get("k"), np.arange(4.0))
+        assert reborn.disk_hits == 1
+        assert reborn.hits == 1 and reborn.misses == 0
+        # Promoted entry now serves from memory.
+        reborn.get("k")
+        assert reborn.disk_hits == 1
+
+    def test_generation_mismatch_invalidates_disk(self, tmp_path):
+        cache = PersistentLRUCache(tmp_path, maxsize=8, generation="g1")
+        cache.put("k", 1)
+        stale = PersistentLRUCache(tmp_path, maxsize=8, generation="g2")
+        assert stale.get("k", MISSING) is MISSING
+
+    def test_set_generation_clears_both_tiers(self, tmp_path):
+        cache = PersistentLRUCache(tmp_path, maxsize=8, generation="g1")
+        cache.put("k", 1)
+        cache.set_generation("g2")
+        assert cache.get("k", MISSING) is MISSING
+        cache.put("k", 2)
+        # Same generation is a no-op (entries survive).
+        cache.set_generation("g2")
+        assert cache.get("k") == 2
+
+    def test_straggler_old_generation_writer_cannot_poison(self, tmp_path):
+        # Node A (old advisor, g1) and node B (retrained, g2) share one
+        # cache directory; A keeps writing after B's GC.  B must never
+        # serve A's old-encoder embeddings.
+        node_a = PersistentLRUCache(tmp_path, maxsize=8, generation="g1")
+        node_b = PersistentLRUCache(tmp_path, maxsize=8, generation="g2")
+        node_a.put("fingerprint", "old-encoder-embedding")
+        assert node_b.get("fingerprint", MISSING) is MISSING
+        node_b.put("fingerprint", "new-encoder-embedding")
+        assert node_b.get("fingerprint") == "new-encoder-embedding"
+
+    def test_memory_tier_is_bounded_disk_is_not(self, tmp_path):
+        cache = PersistentLRUCache(tmp_path, maxsize=2, generation="g")
+        for i in range(6):
+            cache.put(f"k{i}", i)
+        assert len(cache.memory) == 2
+        # Evicted entries are still served (from disk).
+        assert cache.get("k0") == 0
+        assert cache.disk_hits == 1
