@@ -14,7 +14,14 @@ three advisor stages the perf PR targets:
   family-structured RCS, with recall@k against the exact result;
 * ``persistent_cache``  — a serving node killed and reloaded from
   ``load_advisor``: first repeat query must come from the disk tier of the
-  embedding cache with **zero** GIN forwards.
+  embedding cache with **zero** GIN forwards;
+* ``float32_epoch``     — the float64 fast path vs the float32 precision
+  tier: one DML epoch (tensor cache + fused GIN/loss/Adam at each dtype)
+  and batched serving, with the recommendation agreement between tiers;
+* ``e2lsh_search``      — exact float32 scan vs the quantized-projection
+  ``E2LSHIndex`` on a cluster-free 8192-member RCS (no family structure:
+  the corpus where the sign hash stops pruning), with recall@k and the
+  sign hash's pool fraction for reference.
 
 Writes a machine-readable ``results/BENCH_micro.json`` so future PRs can
 track the perf trajectory, and prints a human-readable table.
@@ -43,7 +50,8 @@ from repro.datagen.spec import random_spec
 from repro.utils.rng import rng_from_seed
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
-from synth import MODELS, family_corpus, synthetic_corpus  # noqa: E402
+from synth import (MODELS, cluster_free_embeddings, family_corpus,  # noqa: E402
+                   synthetic_corpus)
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -296,6 +304,107 @@ def bench_ann_search(repeats: int, rcs_size: int = 8192,
             "speedup": before / after}
 
 
+def bench_float32_epoch(repeats: int, epochs_per_run: int = 20) -> dict:
+    """The float32 precision tier vs the float64 fast path.
+
+    Both sides run the full PR 1 fast path (corpus tensor cache, fused
+    GIN/loss, fused Adam); the only difference is the dtype threaded through
+    encoder parameters, batch tensors, loss and optimizer state.  Serving is
+    compared on ``recommend_batch`` (embedding cache off, so the GIN forward
+    and KNN kernels are measured, not the memo-cache), and the two tiers'
+    recommendations are checked for agreement.
+    """
+    graphs, labels = synthetic_corpus(128)
+    config = DMLConfig(batch_size=32, seed=0)
+    trainers = {}
+    for dtype in (np.float64, np.float32):
+        encoder = GINEncoder(graphs[0].vertex_dim, hidden_dim=64,
+                             embedding_dim=32, seed=0, dtype=dtype)
+        trainer = DMLTrainer(encoder, config)
+        # Warm-up epoch: prime allocator/BLAS state and move both tiers off
+        # their cold first step before the interleaved timing below.
+        trainer.train(graphs, labels, epochs=1)
+        trainers[dtype] = trainer
+    before, after = interleaved_best(
+        lambda: trainers[np.float64].train(graphs, labels,
+                                           epochs=epochs_per_run),
+        lambda: trainers[np.float32].train(graphs, labels,
+                                           epochs=epochs_per_run), repeats)
+    before /= epochs_per_run
+    after /= epochs_per_run
+
+    serve_graphs, serve_labels = synthetic_corpus(64)
+    advisors = {}
+    for dtype in ("float64", "float32"):
+        advisor = AutoCE(AutoCEConfig(
+            hidden_dim=32, embedding_dim=16, use_incremental=False,
+            embedding_cache_size=0,
+            dml=DMLConfig(epochs=2, batch_size=32), seed=0, dtype=dtype))
+        advisor.fit(serve_graphs, serve_labels)
+        advisors[dtype] = advisor
+    rng = np.random.default_rng(7)
+    queries = [serve_graphs[i]
+               for i in rng.integers(0, len(serve_graphs), size=100)]
+    serve_before, serve_after = interleaved_best(
+        lambda: advisors["float64"].recommend_batch(queries, 0.9),
+        lambda: advisors["float32"].recommend_batch(queries, 0.9), repeats)
+    agreement = float(np.mean([
+        r64.model == r32.model
+        for r64, r32 in zip(advisors["float64"].recommend_batch(queries, 0.9),
+                            advisors["float32"].recommend_batch(queries, 0.9))
+    ]))
+    return {"corpus": len(graphs), "batch_size": 32,
+            "epochs_per_run": epochs_per_run,
+            "before_s": before, "after_s": after, "speedup": before / after,
+            "serve_queries": len(queries), "serve_before_s": serve_before,
+            "serve_after_s": serve_after,
+            "serve_speedup": serve_before / serve_after,
+            "recommendation_agreement": agreement}
+
+
+def bench_e2lsh_search(repeats: int, rcs_size: int = 8192,
+                       num_queries: int = 512, k: int = 5) -> dict:
+    """Exact float32 scan vs the quantized-projection E2LSH index on a
+    cluster-free RCS (uniform low-intrinsic-dimension embedding cloud — no
+    family structure for sign buckets to exploit).
+
+    Also records what the sign hash does on the same corpus (the fraction
+    of the corpus its average candidate pool still touches — the recall
+    probe's degradation signal) and that :func:`select_neighbor_index`
+    picks the E2LSH index here.
+    """
+    from repro.core.predictor import (ANNConfig, ANNIndex, E2LSHConfig,
+                                      E2LSHIndex, exact_search,
+                                      select_neighbor_index)
+
+    embeddings = cluster_free_embeddings(rcs_size + num_queries, seed=0)
+    members, queries = embeddings[:rcs_size], embeddings[rcs_size:]
+
+    index = E2LSHIndex(E2LSHConfig(seed=0))
+    index.rebuild(members)
+    index.search(queries, members, k)          # warm: lazy bucket sort
+    before, after = interleaved_best(
+        lambda: exact_search(queries, members, k),
+        lambda: index.search(queries, members, k), repeats)
+
+    exact_idx, _ = exact_search(queries, members, k)
+    e2lsh_idx, _ = index.search(queries, members, k)
+    recall = float(np.mean([
+        len(set(a) & set(e)) / k for a, e in zip(e2lsh_idx, exact_idx)]))
+
+    sign = ANNIndex(ANNConfig(seed=0))
+    sign.rebuild(members)
+    sign.search(queries, members, k)
+    selected = type(select_neighbor_index(members, ANNConfig(seed=0))).__name__
+    return {"rcs_size": rcs_size, "queries": num_queries, "k": k,
+            "intrinsic_dim": 4, "dtype": "float32",
+            "recall_at_k": recall, "before_s": before, "after_s": after,
+            "speedup": before / after,
+            "e2lsh_fallback_fraction": index.last_fallback_fraction,
+            "sign_hash_pool_fraction": sign.last_pool_fraction,
+            "probe_selects": selected}
+
+
 def bench_persistent_cache(repeats: int, tmp_root: Path | None = None) -> dict:
     """Kill-and-reload serving-node warm start from the persistent cache.
 
@@ -369,6 +478,8 @@ def main(argv: list[str] | None = None) -> int:
         "recommend_batch": bench_recommend_batch(args.repeats),
         "ann_search": bench_ann_search(args.repeats),
         "persistent_cache": bench_persistent_cache(args.repeats),
+        "float32_epoch": bench_float32_epoch(args.repeats),
+        "e2lsh_search": bench_e2lsh_search(args.repeats),
     }
 
     args.output.parent.mkdir(parents=True, exist_ok=True)

@@ -131,8 +131,9 @@ def cmd_train(args: argparse.Namespace) -> int:
     print(f"labeling corpus of {args.corpus} datasets "
           f"(cached under {args.cache or 'the default cache dir'}) ...")
     entries = build_corpus(config, cache_dir=args.cache)
-    print(f"training AutoCE on {len(entries)} labeled datasets ...")
-    advisor = AutoCE(AutoCEConfig(seed=args.seed))
+    print(f"training AutoCE on {len(entries)} labeled datasets "
+          f"({args.dtype} precision tier) ...")
+    advisor = AutoCE(AutoCEConfig(seed=args.seed, dtype=args.dtype))
     advisor.fit([e.graph for e in entries], [e.label for e in entries])
     save_advisor(advisor, args.out)
     print(f"wrote {args.out}: advisor over {len(entries)} labeled datasets, "
@@ -158,6 +159,9 @@ def cmd_recommend(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     advisor = load_advisor(args.advisor)
+    if args.dtype:
+        # Serving-tier cast: a float64-trained advisor can serve float32.
+        advisor.set_dtype(args.dtype)
     advisor.config.featurize_workers = args.workers
     if args.cache_dir:
         # Write-through disk tier: a restarted node warm-starts from here
@@ -178,9 +182,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             line += f" ({cache.disk_hits} served from disk)"
         print(line)
     index = advisor.rcs.index
-    print(f"neighbor search: "
-          f"{'ANN (LSH)' if index is not None else 'exact'} over "
-          f"{len(advisor.rcs)} RCS members")
+    kinds = {"ANNIndex": "ANN (sign-hash LSH)",
+             "E2LSHIndex": "ANN (quantized E2LSH)"}
+    kind = kinds.get(type(index).__name__, "exact") if index else "exact"
+    print(f"neighbor search: {kind} over {len(advisor.rcs)} RCS members "
+          f"({advisor.config.dtype} tier)")
     return 0
 
 
@@ -246,6 +252,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache", default=None, help="label cache directory")
     p.add_argument("--fast", action="store_true",
                    help="reduced-budget testbed for labeling")
+    p.add_argument("--dtype", choices=("float64", "float32"),
+                   default="float64",
+                   help="precision tier of the encoder and embeddings "
+                        "(float32 = fast tier)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_train)
 
@@ -272,6 +282,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "restarts; invalidated when the encoder changes)")
     p.add_argument("--workers", type=int, default=0,
                    help="featurization threads (0 = one per CPU, 1 = serial)")
+    p.add_argument("--dtype", choices=("float64", "float32"), default=None,
+                   help="serve at this precision tier (default: the tier "
+                        "the advisor was trained at)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("experiment",

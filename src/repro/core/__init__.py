@@ -14,9 +14,10 @@ from .losses import (weighted_contrastive_loss, basic_contrastive_loss,
                      cosine_similarity_matrix, positive_negative_masks,
                      pairwise_distances, pair_weights)
 from .dml import DMLConfig, DMLTrainer
-from .predictor import (ANNConfig, ANNIndex, ExactIndex, KNNPredictor,
-                        NeighborIndex, Recommendation,
-                        RecommendationCandidateSet, exact_search,
+from .predictor import (ANNConfig, ANNIndex, E2LSHConfig, E2LSHIndex,
+                        ExactIndex, KNNPredictor, NeighborIndex,
+                        Recommendation, RecommendationCandidateSet,
+                        exact_search, select_neighbor_index,
                         squared_distance_matrix, top_k_neighbors)
 from .incremental import (IncrementalConfig, AugmentationResult,
                           collect_feedback, augment_with_mixup,
@@ -39,9 +40,10 @@ __all__ = [
     "cosine_similarity_matrix", "positive_negative_masks",
     "pairwise_distances", "pair_weights",
     "DMLConfig", "DMLTrainer",
-    "ANNConfig", "ANNIndex", "ExactIndex", "KNNPredictor", "NeighborIndex",
+    "ANNConfig", "ANNIndex", "E2LSHConfig", "E2LSHIndex", "ExactIndex",
+    "KNNPredictor", "NeighborIndex",
     "Recommendation", "RecommendationCandidateSet", "exact_search",
-    "squared_distance_matrix", "top_k_neighbors",
+    "select_neighbor_index", "squared_distance_matrix", "top_k_neighbors",
     "IncrementalConfig", "AugmentationResult", "collect_feedback",
     "augment_with_mixup", "incremental_learning",
     "DriftDetector", "OnlineAdapter",

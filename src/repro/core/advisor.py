@@ -77,6 +77,12 @@ class AutoCEConfig:
     hidden_dim: int = 96
     embedding_dim: int = 64
     num_layers: int = 2
+    #: Numeric precision tier of the encoder, the DML training tensors and
+    #: the serving embeddings: "float64" (reference, the default) or
+    #: "float32" (the fast tier — half the memory bandwidth on the GIN and
+    #: KNN kernels, with recommendation agreement measured in the README /
+    #: ROADMAP precision-tier section).
+    dtype: str = "float64"
     #: The paper's Table IV optimum is k = 2 on a 1 000-dataset corpus; on
     #: this reproduction's smaller default corpus a slightly larger
     #: neighborhood averages out label noise (see the Table IV bench).
@@ -179,6 +185,7 @@ class AutoCE:
             embedding_dim=config.embedding_dim,
             num_layers=config.num_layers,
             seed=config.seed,
+            dtype=np.dtype(config.dtype),
         )
         self.trainer = DMLTrainer(self.encoder, config.dml)
         self.loss_history = self.trainer.train(self._graphs, self._labels)
@@ -210,9 +217,15 @@ class AutoCE:
             raise RuntimeError("AutoCE is not fitted; call fit() first")
         if self._generation is None:
             digest = hashlib.sha256()
+            # The precision tier is part of the generation: identical logical
+            # weights served at a different dtype produce different
+            # embeddings, and a float32 node must never be handed a stale
+            # float64 entry (or vice versa) from a shared cache directory.
+            digest.update(str(self.encoder.dtype).encode())
             for param in self.encoder.parameters():
                 data = np.ascontiguousarray(param.data)
                 digest.update(str(data.shape).encode())
+                digest.update(str(data.dtype).encode())
                 digest.update(data.tobytes())
             self._generation = digest.hexdigest()[:16]
         return self._generation
@@ -250,6 +263,31 @@ class AutoCE:
             self.embedding_cache.clear()
 
     # ------------------------------------------------------------------
+    # Precision tier
+    # ------------------------------------------------------------------
+    def set_dtype(self, dtype) -> "AutoCE":
+        """Switch the advisor's precision tier (e.g. ``"float32"``).
+
+        On a fitted advisor this casts the encoder weights in place,
+        re-embeds the RCS on the new tier and invalidates the embedding
+        cache (the generation stamp folds in the dtype, so persistent disk
+        entries written at the old tier can never be served at the new one).
+        Downcasting a float64-trained advisor to float32 is the supported
+        serving fast tier; the reverse cast does not recover the discarded
+        mantissa bits.
+        """
+        dtype = np.dtype(dtype)
+        if dtype.name not in ("float32", "float64"):
+            raise ValueError(f"unsupported precision tier {dtype.name!r}")
+        self.config.dtype = dtype.name
+        if self.encoder is not None and self.encoder.dtype != dtype:
+            self.encoder.to(dtype)
+            self._invalidate_embedding_cache()
+            if self._graphs:
+                self._rebuild_rcs()
+        return self
+
+    # ------------------------------------------------------------------
     # Stage 4: recommendation
     # ------------------------------------------------------------------
     def _embed_graphs(self, graphs: list[FeatureGraph]) -> np.ndarray:
@@ -257,7 +295,8 @@ class AutoCE:
         cache = self._serving_cache()
         if cache is None:
             return self.encoder.embed(graphs)
-        out = np.empty((len(graphs), self.encoder.embedding_dim))
+        out = np.empty((len(graphs), self.encoder.embedding_dim),
+                       dtype=self.encoder.dtype)
         miss_indices: list[int] = []
         keys = [graph.fingerprint() for graph in graphs]
         for i, key in enumerate(keys):

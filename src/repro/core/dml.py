@@ -149,7 +149,9 @@ class DMLTrainer:
         if profiles is not None:
             norms = np.sqrt((profiles * profiles).sum(axis=1, keepdims=True))
             profiles = profiles / np.maximum(norms, 1e-12)
-        batcher = (GraphTensorBatcher(graphs)
+        # The tensor cache is built on the encoder's precision tier, so a
+        # float32 encoder trains against float32 corpus tensors end-to-end.
+        batcher = (GraphTensorBatcher(graphs, dtype=self.encoder.dtype)
                    if config.use_tensor_cache else None)
         encoder = self.encoder
         optimizer = self._optimizer

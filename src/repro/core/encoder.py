@@ -77,11 +77,20 @@ class GINLayer(nn.Module):
 
 
 class GINEncoder(nn.Module):
-    """Stack of GINConv layers + sum pooling (the graph encoder G)."""
+    """Stack of GINConv layers + sum pooling (the graph encoder G).
+
+    ``dtype`` selects the encoder's precision tier.  Parameters are always
+    *initialized* in float64 from the seeded RNG and then cast, so a float32
+    encoder starts from (the rounding of) the exact same weights as its
+    float64 twin — the property-based equivalence harness depends on this.
+    Inputs are cast at the forward boundary; the autograd engine keeps the
+    tier end-to-end from there.
+    """
 
     def __init__(self, vertex_dim: int, hidden_dim: int = 64,
                  embedding_dim: int = 32, num_layers: int = 2,
-                 seed: int | np.random.Generator = 0):
+                 seed: int | np.random.Generator = 0,
+                 dtype=np.float64):
         super().__init__()
         rng = rng_from_seed(seed)
         self.vertex_dim = vertex_dim
@@ -92,11 +101,24 @@ class GINEncoder(nn.Module):
             layer = GINLayer(d_in, d_out, rng)
             self.layers.append(layer)
             setattr(self, f"gin{i}", layer)
+        self.dtype = np.dtype(np.float64)
+        self.to(dtype)
+
+    def to(self, dtype) -> "GINEncoder":
+        super().to(dtype)
+        object.__setattr__(self, "dtype", np.dtype(dtype))
+        return self
+
+    def _cast(self, array: np.ndarray) -> np.ndarray:
+        """Bring a forward input onto the encoder's precision tier (no-copy
+        when it already is)."""
+        return np.asarray(array, dtype=self.dtype)
 
     def forward(self, vertices: np.ndarray, edges: np.ndarray,
                 mask: np.ndarray) -> nn.Tensor:
         """Batched encoding: [B, n, d] + [B, n, n] + [B, n] → [B, e]."""
         # Symmetrize: messages flow both ways along a join edge.
+        edges = self._cast(edges)
         return self.forward_adjacency(
             vertices, edges + np.swapaxes(edges, 1, 2), mask)
 
@@ -108,14 +130,16 @@ class GINEncoder(nn.Module):
         corpus (see :class:`~repro.core.graph.GraphTensorBatcher`) instead of
         re-deriving it on every forward call.
         """
-        h = nn.Tensor(vertices)
+        h = nn.Tensor(self._cast(vertices))
+        adjacency = self._cast(adjacency)
+        mask = self._cast(mask)
         for layer in self.layers:
             h = layer(h, adjacency, mask)
         # Sum pooling over (unpadded) vertices.
         return masked_sum_pool(h, mask)
 
     def encode_batch(self, graphs: list[FeatureGraph]) -> nn.Tensor:
-        vertices, edges, mask = batch_graphs(graphs)
+        vertices, edges, mask = batch_graphs(graphs, dtype=self.dtype)
         return self.forward(vertices, edges, mask)
 
     def embed(self, graphs: list[FeatureGraph]) -> np.ndarray:

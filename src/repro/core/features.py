@@ -102,6 +102,11 @@ def column_features_matrix(matrix: np.ndarray) -> np.ndarray:
     sorted_rows = np.sort(matrix, axis=1)
     domain = 1.0 + np.count_nonzero(
         sorted_rows[:, 1:] != sorted_rows[:, :-1], axis=1)
+    # NaN != NaN, so adjacent counting sees every NaN as distinct while the
+    # scalar reference path's np.unique collapses them (equal_nan=True);
+    # fold the extras back so both paths agree on NaN-bearing columns.
+    nan_counts = np.isnan(matrix).sum(axis=1)
+    domain = domain - np.maximum(nan_counts - 1, 0)
     mean_dev = np.abs(centered).mean(axis=1)
     return np.column_stack([
         _squash_array(skewness),

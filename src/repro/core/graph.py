@@ -124,17 +124,22 @@ def build_feature_graph_reference(dataset: Dataset,
     return FeatureGraph(dataset.name, vertices, edges)
 
 
-def batch_graphs(graphs: list[FeatureGraph]):
-    """Pad a list of graphs to tensors [B, n, d], [B, n, n], mask [B, n]."""
+def batch_graphs(graphs: list[FeatureGraph], dtype=np.float64):
+    """Pad a list of graphs to tensors [B, n, d], [B, n, n], mask [B, n].
+
+    ``dtype`` selects the precision tier of the batch tensors: feature
+    graphs are always stored in float64, but the float32 tier halves the
+    memory bandwidth of the GIN forward/backward built on top of them.
+    """
     if not graphs:
         raise ValueError("empty graph batch")
     dims = {g.vertex_dim for g in graphs}
     if len(dims) != 1:
         raise ValueError(f"inconsistent vertex dimensions in batch: {dims}")
     n_max = max(g.num_tables for g in graphs)
-    vertices = np.zeros((len(graphs), n_max, dims.pop()))
-    edges = np.zeros((len(graphs), n_max, n_max))
-    mask = np.zeros((len(graphs), n_max))
+    vertices = np.zeros((len(graphs), n_max, dims.pop()), dtype=dtype)
+    edges = np.zeros((len(graphs), n_max, n_max), dtype=dtype)
+    mask = np.zeros((len(graphs), n_max), dtype=dtype)
     for i, graph in enumerate(graphs):
         n = graph.num_tables
         vertices[i, :n] = graph.vertices
@@ -152,10 +157,15 @@ class GraphTensorBatcher:
     vertex mask ``[N, n]``.  :meth:`slice` then serves any training batch as
     pure index-array views; zero-padding to the corpus-wide max table count
     is numerically transparent to the masked GIN encoder.
+
+    ``dtype`` pins the tensor cache to a precision tier (float64 default;
+    float32 is the fast tier, matched to the encoder's parameter dtype by
+    :class:`~repro.core.dml.DMLTrainer`).
     """
 
-    def __init__(self, graphs: list[FeatureGraph]):
-        vertices, edges, mask = batch_graphs(graphs)
+    def __init__(self, graphs: list[FeatureGraph], dtype=np.float64):
+        vertices, edges, mask = batch_graphs(graphs, dtype=dtype)
+        self.dtype = np.dtype(dtype)
         self.vertices = vertices
         self.adjacency = edges + np.swapaxes(edges, 1, 2)
         self.mask = mask

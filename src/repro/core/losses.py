@@ -108,6 +108,10 @@ def weighted_contrastive_loss(embeddings: nn.Tensor, similarities: np.ndarray,
     """
     positive, negative = positive_negative_masks(similarities, tau)
     e = embeddings.data
+    # The whole loss follows the embeddings' precision tier: label
+    # similarities arrive float64 but are demoted so a float32 batch never
+    # silently promotes back to float64 mid-graph.
+    similarities = np.asarray(similarities, dtype=e.dtype)
     squared = (e * e).sum(axis=1, keepdims=True)
     dist_sq = squared + squared.T - (e @ e.T) * 2.0
     positive_dist = dist_sq > 0
@@ -116,14 +120,14 @@ def weighted_contrastive_loss(embeddings: nn.Tensor, similarities: np.ndarray,
     arg = distances + similarities
     m = len(similarities)
     # Both Eq. 9 terms as one stacked [2, m, m] logsumexp pass.
-    stacked = np.full((2, m, m), _NEG_INF)
+    stacked = np.full((2, m, m), _NEG_INF, dtype=e.dtype)
     np.copyto(stacked[0], arg, where=positive)
     np.copyto(stacked[1], arg * -1.0 + gamma, where=negative)
     (pos_term, neg_term), (pos_softmax, neg_softmax) = \
         _masked_logsumexp(stacked)
 
-    has_pos = positive.any(axis=1).astype(np.float64)
-    has_neg = negative.any(axis=1).astype(np.float64)
+    has_pos = positive.any(axis=1).astype(e.dtype)
+    has_neg = negative.any(axis=1).astype(e.dtype)
     loss = (pos_term * has_pos + neg_term * has_neg).sum() / m
 
     def backward(grad):
@@ -149,13 +153,14 @@ def basic_contrastive_loss(embeddings: nn.Tensor, similarities: np.ndarray,
     positive, negative = positive_negative_masks(similarities, tau)
     distances = pairwise_distances(embeddings)
     m = len(similarities)
+    dtype = embeddings.data.dtype
 
-    pos_sum = (distances * nn.Tensor(positive.astype(np.float64))).sum(axis=1)
+    pos_sum = (distances * nn.Tensor(positive.astype(dtype))).sum(axis=1)
     hinge = ((distances * -1.0) + gamma).relu()
-    neg_sum = (hinge * nn.Tensor(negative.astype(np.float64))).sum(axis=1)
+    neg_sum = (hinge * nn.Tensor(negative.astype(dtype))).sum(axis=1)
 
-    pos_count = np.maximum(positive.sum(axis=1), 1.0)
-    neg_count = np.maximum(negative.sum(axis=1), 1.0)
+    pos_count = np.maximum(positive.sum(axis=1), 1.0).astype(dtype)
+    neg_count = np.maximum(negative.sum(axis=1), 1.0).astype(dtype)
     total = pos_sum / nn.Tensor(pos_count) + neg_sum / nn.Tensor(neg_count)
     return total.mean()
 

@@ -36,7 +36,7 @@ from .dml import DMLConfig, DMLTrainer
 from .encoder import GINEncoder
 from .graph import FeatureGraph
 from .incremental import IncrementalConfig
-from .predictor import ANNConfig, RecommendationCandidateSet
+from .predictor import ANNConfig, E2LSHConfig, RecommendationCandidateSet
 
 #: Bump on any change to the on-disk layout.
 FORMAT_VERSION = 1
@@ -58,9 +58,13 @@ def _config_from_dict(payload: dict) -> AutoCEConfig:
     payload["dml"] = DMLConfig(**dml)
     payload["incremental"] = IncrementalConfig(**payload["incremental"])
     # Advisors saved before the scale-out serving fields existed load with
-    # the defaults (exact search, in-memory cache only).
+    # the defaults (exact search, in-memory cache only); likewise the
+    # nested E2LSH block and the dtype tier default when absent.
     if "ann" in payload:
-        payload["ann"] = ANNConfig(**payload["ann"])
+        ann = dict(payload["ann"])
+        if "e2lsh" in ann:
+            ann["e2lsh"] = E2LSHConfig(**ann["e2lsh"])
+        payload["ann"] = ANNConfig(**ann)
     return AutoCEConfig(**payload)
 
 
@@ -141,6 +145,7 @@ def load_advisor(path: str) -> AutoCE:
             embedding_dim=config.embedding_dim,
             num_layers=config.num_layers,
             seed=config.seed,
+            dtype=np.dtype(config.dtype),
         )
         params = advisor.encoder.parameters()
         if len(params) != metadata["num_params"]:

@@ -13,33 +13,63 @@ queries against one ``[Q, N]`` distance matrix at once.
 
 Scale-out serving: neighbor search is abstracted behind the
 :class:`NeighborIndex` protocol.  :class:`ExactIndex` is the exhaustive
-Gram-identity search; :class:`ANNIndex` is a random-hyperplane LSH with
-multi-probe bucket expansion and exact re-ranking of the candidate pool,
-for RCS sizes (CardBench scale — thousands of labeled datasets) where the
-full ``[Q, N]`` scan dominates serving latency.  The RCS selects the ANN
-index automatically once its size crosses ``ANNConfig.threshold`` and keeps
-it fresh incrementally on :meth:`RecommendationCandidateSet.add` /
+Gram-identity search.  Two LSH families share one bucketed-index substrate
+(:class:`_BucketedLSHIndex`): :class:`ANNIndex` is a random-hyperplane
+*sign* hash with multi-probe bit flips — ideal when the corpus has
+family/cluster structure — and :class:`E2LSHIndex` is a quantized-projection
+(E2LSH-style) hash ``floor((x·w + b) / r)`` with multi-probe bucket walks,
+which keeps discriminating by *distance* on corpora without any cluster
+structure (where sign buckets degenerate and the sign hash falls back to
+the exact scan).  :func:`select_neighbor_index` — the sign-hash recall
+probe — picks between them when the RCS crosses ``ANNConfig.threshold``,
+and the RCS keeps the chosen index fresh incrementally on
+:meth:`RecommendationCandidateSet.add` / fully on
 :meth:`RecommendationCandidateSet.replace_embeddings`.
+
+All kernels are precision-tier aware: a float32 embedding matrix (the
+advisor's fast serving tier) is searched in float32 end-to-end, halving the
+memory bandwidth of the distance GEMMs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from ..testbed.scores import ScoreLabel
 
+#: Floating dtypes preserved by the serving kernels (everything else is
+#: promoted to the float64 default).
+_FLOAT_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+
+def _as_float_matrix(a: np.ndarray) -> np.ndarray:
+    """2-D float view of ``a``, keeping a float32 tier, promoting the rest."""
+    a = np.atleast_2d(np.asarray(a))
+    if a.dtype not in _FLOAT_DTYPES:
+        return a.astype(np.float64)
+    return a
+
+
+def _common_dtype(a: np.ndarray, b: np.ndarray) -> np.dtype:
+    """The precision tier two operands meet at (float32 only when both are)."""
+    da = a.dtype if a.dtype in _FLOAT_DTYPES else np.dtype(np.float64)
+    db = b.dtype if b.dtype in _FLOAT_DTYPES else np.dtype(np.float64)
+    return np.result_type(da, db)
+
 
 def squared_distance_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Pairwise squared Euclidean distances [Q, N] via the Gram identity.
 
     ``‖a‖² + ‖b‖² − 2·a·b`` avoids materializing the O(Q·N·d) difference
-    tensor; numerical noise is clipped at zero.
+    tensor; numerical noise is clipped at zero.  Runs on the operands'
+    common precision tier (float32 in, float32 GEMM out).
     """
-    a = np.atleast_2d(np.asarray(a, dtype=np.float64))
-    b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+    dtype = _common_dtype(np.asarray(a), np.asarray(b))
+    a = np.atleast_2d(np.asarray(a, dtype=dtype))
+    b = np.atleast_2d(np.asarray(b, dtype=dtype))
     sq = ((a * a).sum(axis=1)[:, None] + (b * b).sum(axis=1)[None, :]
           - 2.0 * (a @ b.T))
     return np.maximum(sq, 0.0)
@@ -121,6 +151,56 @@ class ExactIndex:
 
 
 @dataclass
+class E2LSHConfig:
+    """Quantized-projection (E2LSH-style) hash parameters.
+
+    Each of ``num_tables`` tables hashes an embedding to the integer lattice
+    cell of ``num_projections`` quantized projections ``floor((x·w + b)/r)``.
+    Unlike the sign hash, the bucket id changes with *distance along* each
+    projection, not just its sign, so corpora without family/cluster
+    structure (uniform clouds, shells, low-intrinsic-dimension manifolds)
+    still spread over distance-coherent buckets.
+    """
+
+    #: Independent hash tables; more tables = higher recall, more probes.
+    #: Each table sits on its own rung of the radius ladder (see ``radius``).
+    num_tables: int = 10
+    #: Quantized projections per table; 0 = auto-size from the corpus size
+    #: at rebuild time.
+    num_projections: int = 0
+    #: Quantization width r; 0 = calibrate a per-table radius *ladder* from
+    #: the corpus at rebuild time: table t's radius is ``radius_scale``
+    #: times the t-th percentile of the sampled members' k-NN distances.
+    #: Embedding clouds whose local neighbor scale varies across the corpus
+    #: (e.g. sum-pooled GIN embeddings, where scale grows with the radial
+    #: coordinate) then always have some rungs quantizing at the right
+    #: granularity; a corpus with one global scale gets ~equal rungs and
+    #: the ladder degenerates to the textbook single radius.
+    radius: float = 0.0
+    #: Multiplier applied to the sampled k-NN distance scale(s).
+    radius_scale: float = 2.4
+    #: Members sampled (and the k used) for the radius calibration probe.
+    calibration_sample: int = 256
+    calibration_k: int = 5
+    #: Extra buckets walked per table and query: single lattice steps along
+    #: the coordinates whose cell boundary is nearest (the query-directed
+    #: multi-probe heuristic of Lv et al., restricted to ±1 perturbations);
+    #: values beyond 2·num_projections extend the walk with the cheapest
+    #: two-coordinate combinations.
+    num_probes: int = 16
+    #: Buckets larger than this contribute no candidates (0 = no cap): an
+    #: oversized bucket is a mismatched ladder rung quantizing too coarsely
+    #: for this query's neighborhood and would flood the re-rank pool.
+    bucket_cap: int = 128
+    #: Pool-size guard rails shared with the sign hash: too-sparse pools
+    #: fall back to exact search, too-dense pools (no locality to exploit,
+    #: e.g. a degenerate all-identical corpus) likewise (0 = never).
+    min_candidates: int = 16
+    max_candidates: int = 2048
+    seed: int = 0
+
+
+@dataclass
 class ANNConfig:
     """Random-hyperplane LSH parameters for the approximate serving index."""
 
@@ -143,98 +223,116 @@ class ANNConfig:
     #: exploit, and one dense query must not widen the whole batch's padded
     #: re-rank matrix (0 = never).
     max_candidates: int = 1024
+    #: Per-bucket candidate cap shared with the E2LSH index (0 = no cap,
+    #: the sign hash's historical behavior: oversized buckets flow into the
+    #: pool and trip the ``max_candidates`` exact fallback instead).
+    bucket_cap: int = 0
     #: PCA-whiten embeddings before hashing (re-ranking always uses the raw
     #: distances).  Graph-encoder embeddings concentrate most variance in
     #: very few directions — sum pooling makes "corpus size along the mean
     #: activation ray" dominant — and sign-of-projection hashes are blind
     #: along a dominant axis unless the cloud is equalized first.
     whiten: bool = True
+    #: Let :func:`select_neighbor_index` (the sign-hash recall probe) swap
+    #: in the :class:`E2LSHIndex` when the corpus has no family/cluster
+    #: structure for sign buckets to exploit.
+    auto_e2lsh: bool = True
+    #: Members replayed by the recall probe.  The sign hash is kept only
+    #: when at most ``probe_fallback_threshold`` of them fall back to the
+    #: exact scan, its recall@5 against the exact ground truth reaches
+    #: ``probe_min_recall`` (healthy-looking buckets can still be blind to
+    #: distance on cluster-free corpora — the recall check catches that),
+    #: and the mean candidate pool stays under ``probe_max_pool_fraction``
+    #: of the corpus (a hash that re-ranks a third of the RCS per query has
+    #: degraded to a slightly-disguised exact scan).
+    probe_sample: int = 64
+    probe_fallback_threshold: float = 0.5
+    probe_min_recall: float = 0.85
+    probe_max_pool_fraction: float = 0.05
+    #: When the sign hash degrades, corpora at least this large switch to
+    #: the quantized-projection E2LSH index; smaller ones serve the plain
+    #: exact scan (at those sizes the scan is cheaper than any hash walk).
+    e2lsh_threshold: int = 4096
+    #: Parameters of the quantized-projection index the probe may select.
+    e2lsh: E2LSHConfig = field(default_factory=E2LSHConfig)
     seed: int = 0
 
 
-class ANNIndex:
-    """Multi-probe random-hyperplane LSH with exact candidate re-ranking.
+class _BucketedLSHIndex:
+    """Shared substrate of the bucketed LSH serving indexes.
 
-    Each of ``num_tables`` tables hashes an embedding to a ``num_bits``-bit
-    signature (the sign pattern of projections onto random hyperplanes,
-    taken around the corpus centroid so anisotropic embedding clouds still
-    spread over buckets).  A query gathers every member sharing a bucket in
-    any table — plus ``num_probes`` neighboring buckets per table, flipping
-    the lowest-margin signature bits — and re-ranks that candidate pool with
-    exact distances against the live embedding matrix.  Queries with too few
-    candidates fall back to the exhaustive scan, so results degrade toward
-    exact rather than toward empty.
+    Owns everything hash-family-agnostic: the [L, capacity] bucket-code
+    growth buffer, precomputed member norms, the lazily re-sorted per-table
+    bucket tables, the vectorized candidate-pair expansion, the padded
+    exact re-rank in geometric pool-size bins, and the per-query exact
+    fallback for degenerate (too sparse / too dense) pools.  Subclasses
+    provide the hash family through two hooks:
 
-    :meth:`add` hashes only the appended row (bucket tables are re-sorted
-    lazily on the next search); :meth:`rebuild` re-hashes the corpus, which
-    is also how the index heals itself if it observes an embedding matrix
-    whose length it does not recognize.
+    * :meth:`_fit` — derive projections/calibration from the corpus;
+    * :meth:`_hash_codes` — [Q, L] int64 bucket codes;
+    * :meth:`_probe_codes` — [Q, L, P] bucket codes to visit per query.
+
+    ``last_fallback_fraction`` records, after every :meth:`search`, the
+    fraction of queries served by the exact fallback — the observable the
+    sign-hash recall probe (:func:`select_neighbor_index`) reads to detect
+    a corpus the hash family cannot bucket usefully.
     """
 
-    def __init__(self, config: ANNConfig | None = None):
-        self.config = config or ANNConfig()
-        if self.config.num_tables < 1:
+    def __init__(self, config):
+        self.config = config
+        if config.num_tables < 1:
             raise ValueError("num_tables must be positive")
-        self._projection: np.ndarray | None = None    # [d, L·b], whitening folded in
-        self._center: np.ndarray | None = None        # [d]
-        self._num_bits = 0
+        self._fitted = False
         self._codes: np.ndarray | None = None         # [L, capacity] growth buffer
         self._norms: np.ndarray | None = None         # [capacity] ‖x‖² per member
         self._size = 0
         self._order: np.ndarray | None = None         # [L, N] members by code
         self._sorted_codes: np.ndarray | None = None  # [L, N]
         self._stale_sort = True
+        self.last_fallback_fraction = 0.0
+        self.last_pool_fraction = 0.0
 
     def __len__(self) -> int:
         return self._size
 
+    # -- subclass hooks -------------------------------------------------
+    def _fit(self, embeddings: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _hash_codes(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _probe_codes(self, queries: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
     # ------------------------------------------------------------------
     def rebuild(self, embeddings: np.ndarray) -> None:
-        embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
-        n, dim = embeddings.shape
-        config = self.config
-        bits = config.num_bits
-        if bits <= 0:
-            # Generous signatures (2^b buckets >> n) keep buckets near
-            # pure-locality collisions; recall then comes from the
-            # multi-probe expansion rather than coarse buckets.
-            bits = int(np.clip(np.ceil(np.log2(max(n, 2))) + 3, 8, 24))
-        self._num_bits = bits
-        rng = np.random.default_rng(config.seed)
-        hyperplanes = rng.standard_normal((config.num_tables * bits, dim))
-        self._center = (embeddings.mean(axis=0) if n else np.zeros(dim))
-        # The whitening transform composes with the hyperplanes into one
-        # [d, L·b] projection, so equalizing the embedding cloud costs
-        # nothing per query.
-        self._projection = hyperplanes.T
-        if config.whiten and n > 1:
-            centered = embeddings - self._center
-            eigvals, eigvecs = np.linalg.eigh(centered.T @ centered / n)
-            top = float(eigvals.max())
-            if top > 0.0:
-                scale = 1.0 / np.sqrt(np.maximum(eigvals, 1e-9 * top))
-                self._projection = (eigvecs * scale) @ hyperplanes.T
-        codes, _ = self._signatures(embeddings)
+        embeddings = _as_float_matrix(embeddings)
+        n = len(embeddings)
+        self._fit(embeddings)
+        self._fitted = True
+        codes = self._hash_codes(embeddings)
         capacity = max(4, n)
-        self._codes = np.zeros((config.num_tables, capacity), dtype=np.int64)
+        self._codes = np.zeros((self.config.num_tables, capacity),
+                               dtype=np.int64)
         self._codes[:, :n] = codes.T
-        self._norms = np.zeros(capacity)
+        self._norms = np.zeros(capacity, dtype=embeddings.dtype)
         self._norms[:n] = (embeddings * embeddings).sum(axis=1)
         self._size = n
         self._stale_sort = True
 
     def add(self, embedding: np.ndarray) -> None:
-        embedding = np.asarray(embedding, dtype=np.float64).reshape(1, -1)
-        if self._projection is None:
+        embedding = _as_float_matrix(embedding).reshape(1, -1)
+        if not self._fitted:
             self.rebuild(embedding)
             return
-        codes, _ = self._signatures(embedding)
+        codes = self._hash_codes(embedding)
         if self._size == self._codes.shape[1]:
             grown = np.zeros((self.config.num_tables, 2 * self._size),
                              dtype=np.int64)
             grown[:, :self._size] = self._codes[:, :self._size]
             self._codes = grown
-            grown_norms = np.zeros(2 * self._size)
+            grown_norms = np.zeros(2 * self._size, dtype=self._norms.dtype)
             grown_norms[:self._size] = self._norms[:self._size]
             self._norms = grown_norms
         self._codes[:, self._size] = codes[0]
@@ -243,12 +341,8 @@ class ANNIndex:
         self._stale_sort = True
 
     # ------------------------------------------------------------------
-    def _signatures(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """([Q, L] bucket codes, [Q, L, b] signed projection margins)."""
-        proj = (x - self._center) @ self._projection
-        proj = proj.reshape(len(x), self.config.num_tables, self._num_bits)
-        codes = (proj > 0) @ (np.int64(1) << np.arange(self._num_bits))
-        return codes, proj
+    #: 64-bit multiplicative-hash constant (golden-ratio based).
+    _HASH_GOLD = np.uint64(0x9E3779B97F4A7C15)
 
     def _refresh_sort(self) -> None:
         if not self._stale_sort:
@@ -256,50 +350,135 @@ class ANNIndex:
         codes = self._codes[:, :self._size]
         self._order = np.argsort(codes, axis=1, kind="stable")
         self._sorted_codes = np.take_along_axis(codes, self._order, axis=1)
+        self._build_bucket_maps()
         self._stale_sort = False
 
-    def _probe_codes(self, queries: np.ndarray) -> np.ndarray:
-        """[Q, L, 1 + p] bucket codes to visit per query and table."""
-        codes, proj = self._signatures(queries)
-        probes = min(self.config.num_probes, self._num_bits)
-        out = np.empty(codes.shape + (1 + probes,), dtype=np.int64)
-        out[..., 0] = codes
-        if probes:
-            # Flip the bits closest to their hyperplane: the buckets a near
-            # neighbor is most likely to have landed in instead.
-            flips = np.argsort(np.abs(proj), axis=2)[:, :, :probes]
-            out[..., 1:] = codes[:, :, None] ^ (np.int64(1) << flips)
-        return out
+    # -- open-addressing bucket maps ------------------------------------
+    # Probing visits Q·L·(1+p) buckets per search; binary search over the
+    # sorted codes costs ~100ns per lookup (the measured hot spot of the
+    # whole ANN path), while a vectorized linear-probing hash table resolves
+    # most lookups with one or two gathers.  Each table maps a bucket code
+    # to its [lo, hi) run in the sorted order arrays.
+
+    def _hash_slots(self, keys: np.ndarray) -> np.ndarray:
+        mixed = keys.astype(np.uint64) * self._HASH_GOLD
+        mixed ^= mixed >> np.uint64(29)
+        return (mixed & np.uint64(self._map_mask)).astype(np.int64)
+
+    def _build_bucket_maps(self) -> None:
+        """One flat open-addressing arena over all tables' buckets.
+
+        Slot ``table * S + h`` holds table-local bucket data; every table's
+        inserts and lookups run in the same vectorized probe rounds, so the
+        round overhead is paid once per search instead of once per table.
+        Load factor ≤ ¼ keeps linear-probe chains short.
+        """
+        n = self._size
+        num_tables = self.config.num_tables
+        size = 1 << int(np.ceil(np.log2(max(8, 4 * n))))
+        self._map_mask = size - 1
+        self._map_used = np.zeros(num_tables * size, dtype=bool)
+        self._map_key = np.zeros(num_tables * size, dtype=np.int64)
+        self._map_lo = np.zeros(num_tables * size, dtype=np.int64)
+        self._map_hi = np.zeros(num_tables * size, dtype=np.int64)
+        if n == 0:
+            return
+        codes = self._sorted_codes
+        boundary = np.empty((num_tables, n), dtype=bool)
+        boundary[:, 0] = True
+        np.not_equal(codes[:, 1:], codes[:, :-1], out=boundary[:, 1:])
+        table_id, lo = np.nonzero(boundary)
+        run_starts = np.flatnonzero(boundary.ravel())
+        hi = np.append(run_starts[1:], num_tables * n) - table_id * n
+        keys = codes[table_id, lo]
+        base = table_id * size
+        slots = base + self._hash_slots(keys)
+        pending = np.arange(len(keys))
+        while pending.size:
+            attempt = slots[pending]
+            free = ~self._map_used[attempt]
+            # Among writers hitting one free slot this round, the first
+            # wins; losers (and occupied-slot hits) probe the next slot.
+            winner_slots, first = np.unique(attempt[free], return_index=True)
+            winners = pending[free][first]
+            self._map_used[winner_slots] = True
+            self._map_key[winner_slots] = keys[winners]
+            self._map_lo[winner_slots] = lo[winners]
+            self._map_hi[winner_slots] = hi[winners]
+            placed = np.zeros(len(keys), dtype=bool)
+            placed[winners] = True
+            pending = pending[~placed[pending]]
+            slots[pending] = (base[pending]
+                              + ((slots[pending] + 1) & self._map_mask))
+
+    def _bucket_ranges(self, probe: np.ndarray) -> tuple[np.ndarray,
+                                                         np.ndarray]:
+        """[lo, hi) sorted-order ranges for every probed bucket.
+
+        ``probe`` is the [Q, L, P] code tensor; the result arrays are
+        [L, Q·P] (tables leading, matching the expansion loop's layout).
+        """
+        num_tables = self.config.num_tables
+        wanted = probe.transpose(1, 0, 2).reshape(num_tables, -1)
+        width = wanted.shape[1]
+        wanted = wanted.ravel()
+        size = self._map_mask + 1
+        base = np.repeat(np.arange(num_tables) * size, width)
+        lo = np.zeros(len(wanted), dtype=np.int64)
+        hi = np.zeros(len(wanted), dtype=np.int64)
+        slots = base + self._hash_slots(wanted)
+        pending = np.arange(len(wanted))
+        target = wanted
+        while pending.size:
+            occupied = self._map_used[slots]
+            match = occupied & (self._map_key[slots] == target)
+            hits = pending[match]
+            lo[hits] = self._map_lo[slots[match]]
+            hi[hits] = self._map_hi[slots[match]]
+            # Empty slot = code absent (count stays 0); otherwise keep
+            # probing past the collision.
+            miss = occupied & ~match
+            pending = pending[miss]
+            target = target[miss]
+            base = base[miss]
+            slots = base + ((slots[miss] + 1) & self._map_mask)
+        return lo.reshape(num_tables, width), hi.reshape(num_tables, width)
 
     def _candidate_pairs(self, probe: np.ndarray,
                          num_queries: int) -> tuple[np.ndarray, np.ndarray]:
-        """Unique (query, member) pairs over all probed buckets."""
+        """Unique (query, member) pairs over all probed buckets.
+
+        Buckets larger than ``config.bucket_cap`` (when positive) contribute
+        nothing: a bucket that large carries no locality information for
+        this table — typically a lattice cell of a mismatched-radius ladder
+        rung — and expanding it would only flood the re-rank pool.
+        """
         per_query = probe.shape[2]
-        qid_base = np.repeat(np.arange(num_queries), per_query)
-        qid_parts: list[np.ndarray] = []
-        member_parts: list[np.ndarray] = []
-        for table in range(self.config.num_tables):
-            wanted = probe[:, table, :].ravel()
-            sorted_codes = self._sorted_codes[table]
-            lo = np.searchsorted(sorted_codes, wanted, side="left")
-            hi = np.searchsorted(sorted_codes, wanted, side="right")
-            counts = hi - lo
-            total = int(counts.sum())
-            if total == 0:
-                continue
-            # Vectorized ragged expansion of the [lo, hi) bucket ranges.
-            starts = np.repeat(lo, counts)
-            bases = np.repeat(np.cumsum(counts) - counts, counts)
-            flat = starts + np.arange(total) - bases
-            member_parts.append(self._order[table][flat])
-            qid_parts.append(np.repeat(qid_base, counts))
-        if not member_parts:
+        num_tables = self.config.num_tables
+        bucket_cap = getattr(self.config, "bucket_cap", 0)
+        all_lo, all_hi = self._bucket_ranges(probe)
+        counts = (all_hi - all_lo).ravel()              # [L · Q · P]
+        if bucket_cap > 0:
+            counts = np.where(counts > bucket_cap, 0, counts)
+        total = int(counts.sum())
+        if total == 0:
             return (np.empty(0, dtype=np.int64),) * 2
+        # One vectorized ragged expansion of every [lo, hi) bucket range
+        # across all tables; the order arrays are addressed flat with each
+        # table's row offset folded into its start positions.
+        starts = (all_lo
+                  + (np.arange(num_tables) * self._size)[:, None]).ravel()
+        expanded_starts = np.repeat(starts, counts)
+        bases = np.repeat(np.cumsum(counts) - counts, counts)
+        member = self._order.ravel()[expanded_starts + np.arange(total)
+                                     - bases]
+        qid_base = np.tile(np.repeat(np.arange(num_queries), per_query),
+                           num_tables)
         # Dedup across tables/probes on the packed (query, member) key; the
         # sorted keys come back grouped by query with members ascending —
         # the order the re-rank's lowest-index tie-breaking relies on.
-        keys = np.sort(np.concatenate(qid_parts) * np.int64(self._size)
-                       + np.concatenate(member_parts))
+        keys = np.sort(np.repeat(qid_base, counts) * np.int64(self._size)
+                       + member)
         keep = np.empty(len(keys), dtype=bool)
         keep[0] = True
         np.not_equal(keys[1:], keys[:-1], out=keep[1:])
@@ -338,13 +517,18 @@ class ANNIndex:
 
     def search(self, queries: np.ndarray, embeddings: np.ndarray,
                k: int) -> tuple[np.ndarray, np.ndarray]:
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        embeddings = np.atleast_2d(np.asarray(embeddings))
+        queries = _as_float_matrix(queries)
+        dtype = _common_dtype(queries, embeddings)
+        queries = queries.astype(dtype, copy=False)
         n = len(embeddings)
-        if n != self._size or self._projection is None:
+        if n != self._size or not self._fitted:
             self.rebuild(embeddings)
         k = min(k, n)
         floor = min(max(k, self.config.min_candidates), n)
         if n <= floor:
+            self.last_fallback_fraction = 1.0
+            self.last_pool_fraction = 1.0
             return exact_search(queries, embeddings, k)
         self._refresh_sort()
         num_queries = len(queries)
@@ -355,12 +539,18 @@ class ANNIndex:
         fallback = pool < floor
         if self.config.max_candidates > 0:
             fallback |= pool > self.config.max_candidates
+        self.last_fallback_fraction = float(fallback.mean())
+        # How much of the corpus an average query still touches (fallback
+        # queries touch all of it): the recall probe's "is this hash
+        # actually pruning anything" signal.
+        self.last_pool_fraction = float(
+            np.where(fallback, n, pool).mean() / n)
         active = np.nonzero(~fallback)[0]
         if active.size == 0:
             return exact_search(queries, embeddings, k)
 
         indices = np.empty((num_queries, k), dtype=np.int64)
-        distances = np.empty((num_queries, k))
+        distances = np.empty((num_queries, k), dtype=dtype)
         query_norms = (queries * queries).sum(axis=1)
         # Re-rank in geometric pool-size bins: a handful of dense queries
         # must not widen the padded candidate matrix of the (typically much
@@ -375,6 +565,285 @@ class ANNIndex:
             indices[fallback], distances[fallback] = exact_search(
                 queries[fallback], embeddings, k)
         return indices, distances
+
+
+class ANNIndex(_BucketedLSHIndex):
+    """Multi-probe random-hyperplane *sign* LSH with exact re-ranking.
+
+    Each of ``num_tables`` tables hashes an embedding to a ``num_bits``-bit
+    signature (the sign pattern of projections onto random hyperplanes,
+    taken around the corpus centroid so anisotropic embedding clouds still
+    spread over buckets).  A query gathers every member sharing a bucket in
+    any table — plus ``num_probes`` neighboring buckets per table, flipping
+    the lowest-margin signature bits — and re-ranks that candidate pool with
+    exact distances against the live embedding matrix.  Queries with too few
+    candidates fall back to the exhaustive scan, so results degrade toward
+    exact rather than toward empty.
+
+    :meth:`add` hashes only the appended row (bucket tables are re-sorted
+    lazily on the next search); :meth:`rebuild` re-hashes the corpus, which
+    is also how the index heals itself if it observes an embedding matrix
+    whose length it does not recognize.
+    """
+
+    def __init__(self, config: ANNConfig | None = None):
+        super().__init__(config or ANNConfig())
+        self._projection: np.ndarray | None = None  # [d, L·b], whitening folded in
+        self._center: np.ndarray | None = None      # [d]
+        self._num_bits = 0
+
+    # ------------------------------------------------------------------
+    def _fit(self, embeddings: np.ndarray) -> None:
+        n, dim = embeddings.shape
+        config = self.config
+        bits = config.num_bits
+        if bits <= 0:
+            # Generous signatures (2^b buckets >> n) keep buckets near
+            # pure-locality collisions; recall then comes from the
+            # multi-probe expansion rather than coarse buckets.
+            bits = int(np.clip(np.ceil(np.log2(max(n, 2))) + 3, 8, 24))
+        self._num_bits = bits
+        rng = np.random.default_rng(config.seed)
+        hyperplanes = rng.standard_normal((config.num_tables * bits, dim))
+        center = (embeddings.mean(axis=0, dtype=np.float64) if n
+                  else np.zeros(dim))
+        # The whitening transform composes with the hyperplanes into one
+        # [d, L·b] projection, so equalizing the embedding cloud costs
+        # nothing per query; hashing then runs on the corpus' precision
+        # tier (the whitening solve itself stays float64 for stability).
+        projection = hyperplanes.T
+        if config.whiten and n > 1:
+            centered = np.asarray(embeddings, dtype=np.float64) - center
+            eigvals, eigvecs = np.linalg.eigh(centered.T @ centered / n)
+            top = float(eigvals.max())
+            if top > 0.0:
+                scale = 1.0 / np.sqrt(np.maximum(eigvals, 1e-9 * top))
+                projection = (eigvecs * scale) @ hyperplanes.T
+        self._center = center.astype(embeddings.dtype, copy=False)
+        self._projection = projection.astype(embeddings.dtype, copy=False)
+
+    def _signatures(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """([Q, L] bucket codes, [Q, L, b] signed projection margins)."""
+        proj = (x.astype(self._projection.dtype, copy=False)
+                - self._center) @ self._projection
+        proj = proj.reshape(len(x), self.config.num_tables, self._num_bits)
+        codes = (proj > 0) @ (np.int64(1) << np.arange(self._num_bits))
+        return codes, proj
+
+    def _hash_codes(self, x: np.ndarray) -> np.ndarray:
+        return self._signatures(x)[0]
+
+    def _probe_codes(self, queries: np.ndarray) -> np.ndarray:
+        """[Q, L, 1 + p] bucket codes to visit per query and table."""
+        codes, proj = self._signatures(queries)
+        probes = min(self.config.num_probes, self._num_bits)
+        out = np.empty(codes.shape + (1 + probes,), dtype=np.int64)
+        out[..., 0] = codes
+        if probes:
+            # Flip the bits closest to their hyperplane: the buckets a near
+            # neighbor is most likely to have landed in instead.
+            flips = np.argsort(np.abs(proj), axis=2)[:, :, :probes]
+            out[..., 1:] = codes[:, :, None] ^ (np.int64(1) << flips)
+        return out
+
+
+class E2LSHIndex(_BucketedLSHIndex):
+    """Multi-probe quantized-projection (E2LSH-style) LSH.
+
+    Hash family of Datar et al.: ``h(x) = floor((x·w + b) / r)`` with
+    Gaussian ``w`` and ``b ~ U[0, r)``.  Collision probability decays with
+    the true distance *along every projection* — not just its sign — so the
+    index keeps discriminating near neighbors on corpora with no cluster
+    structure at all (uniform clouds, shells), exactly where sign buckets
+    collapse into a few huge cells and degrade to the exact scan.
+
+    Per table the ``num_projections`` lattice coordinates are mixed into one
+    int64 bucket key with random odd multipliers; because the key is linear
+    in the coordinates, the multi-probe walk (stepping the coordinate whose
+    cell boundary is closest to the query, in the cheaper direction) is a
+    constant-time key increment per probe.  Candidate expansion, re-ranking
+    and the degenerate-pool exact fallback are shared with the sign hash
+    through :class:`_BucketedLSHIndex`.
+    """
+
+    #: Pair probes are drawn from combinations of this many cheapest single
+    #: steps (m choose 2 extra probe candidates per table).
+    _PAIR_POOL = 6
+
+    def __init__(self, config: E2LSHConfig | None = None):
+        super().__init__(config or E2LSHConfig())
+        self._projection: np.ndarray | None = None  # [d, L·b]
+        self._offsets: np.ndarray | None = None     # [L·b]
+        self._mix: np.ndarray | None = None         # [L, b] odd multipliers
+        self._num_projections = 0
+        self._radii: np.ndarray | None = None       # [L] ladder rungs
+
+    # ------------------------------------------------------------------
+    def _fit(self, embeddings: np.ndarray) -> None:
+        n, dim = embeddings.shape
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        projections = config.num_projections
+        if projections <= 0:
+            # More lattice coordinates sharpen buckets but cost recall per
+            # table; ~0.6·log2(n) keeps expected home-bucket sizes within
+            # the re-rank guard rails across the sizes the RCS serves.
+            projections = int(np.clip(round(0.6 * np.log2(max(n, 2))), 2, 12))
+        self._num_projections = projections
+        total = config.num_tables * projections
+        hyperplanes = rng.standard_normal((dim, total))
+        self._radii = self._calibrate_radii(embeddings, rng).astype(
+            embeddings.dtype)
+        # Offsets are uniform within each table's own cell width.
+        self._offsets = (rng.uniform(0.0, 1.0, size=(config.num_tables,
+                                                     projections))
+                         * self._radii[:, None]).reshape(total).astype(
+                             embeddings.dtype)
+        self._projection = hyperplanes.astype(embeddings.dtype, copy=False)
+        # Odd multipliers mix lattice coordinates into one int64 key with
+        # wraparound arithmetic; a cross-bucket key collision only adds a
+        # few spurious candidates to the exact re-rank.
+        self._mix = (rng.integers(1, np.iinfo(np.int64).max,
+                                  size=(config.num_tables, projections),
+                                  dtype=np.int64) | np.int64(1))
+
+    def _calibrate_radii(self, embeddings: np.ndarray,
+                         rng: np.random.Generator) -> np.ndarray:
+        """The [L] radius ladder from the sampled k-NN distance spread.
+
+        The hash is only useful where one lattice cell is on the order of
+        the distances the serving path must resolve.  Rung t quantizes at
+        ``radius_scale`` times the t-th percentile of the sampled members'
+        ``calibration_k``-NN distances, so corpora whose local neighbor
+        scale varies (radially growing GIN clouds) are covered at every
+        scale; a fixed ``config.radius`` pins every rung instead.
+        """
+        config = self.config
+        num_tables = config.num_tables
+        if config.radius > 0:
+            return np.full(num_tables, float(config.radius))
+        n = len(embeddings)
+        sample = min(config.calibration_sample, n)
+        if sample < 2:
+            return np.ones(num_tables)
+        idx = rng.choice(n, size=sample, replace=False)
+        k = min(config.calibration_k + 1, n)   # +1: the member finds itself
+        _, dists = exact_search(embeddings[idx], embeddings, k)
+        scales = dists[:, -1][dists[:, -1] > 0]
+        if len(scales) == 0:
+            # Degenerate corpus (duplicates everywhere): any radius maps it
+            # to one bucket per table and the dense-pool fallback serves it
+            # exactly.
+            return np.ones(num_tables)
+        percentiles = 100.0 * (np.arange(num_tables) + 0.5) / num_tables
+        rungs = config.radius_scale * np.percentile(
+            np.asarray(scales, dtype=np.float64), percentiles)
+        return np.maximum(rungs, 1e-12)
+
+    def _lattice(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """([Q, L, b] lattice coordinates, [Q, L, b] in-cell fractions)."""
+        scaled = (x.astype(self._projection.dtype, copy=False)
+                  @ self._projection + self._offsets)
+        scaled = scaled.reshape(len(x), self.config.num_tables,
+                                self._num_projections)
+        scaled = scaled / self._radii[None, :, None]
+        coords = np.floor(scaled)
+        return coords.astype(np.int64), scaled - coords
+
+    def _hash_codes(self, x: np.ndarray) -> np.ndarray:
+        coords, _ = self._lattice(x)
+        return (coords * self._mix).sum(axis=2)
+
+    def _probe_codes(self, queries: np.ndarray) -> np.ndarray:
+        """[Q, L, 1 + p] bucket keys: home cell + nearest lattice walks.
+
+        A near neighbor most likely sits one lattice step along the
+        coordinate whose cell boundary the query is closest to: stepping
+        down costs the in-cell fraction, stepping up its complement, and a
+        two-coordinate walk costs the sum.  The key is linear in the
+        coordinates, so every probe is a couple of ±multiplier increments.
+        """
+        coords, frac = self._lattice(queries)
+        codes = (coords * self._mix).sum(axis=2)
+        b = self._num_projections
+        # Single steps: [Q, L, 2b] (down then up per coordinate).
+        costs = np.concatenate([frac, 1.0 - frac], axis=2)
+        deltas = np.broadcast_to(
+            np.concatenate([-self._mix, self._mix], axis=1), costs.shape)
+        pool = min(self._PAIR_POOL, 2 * b)
+        if self.config.num_probes > 2 * b and pool >= 2:
+            # Extend the walk with pairs of the cheapest single steps
+            # (skipping the degenerate down+up of one coordinate).  Probe
+            # *sets* are all that matters — buckets are visited, not ranked
+            # — so argpartition replaces every argsort on this path.
+            top = np.argpartition(costs, pool - 1, axis=2)[:, :, :pool]
+            top_costs = np.take_along_axis(costs, top, axis=2)
+            top_deltas = np.take_along_axis(deltas, top, axis=2)
+            left, right = np.triu_indices(pool, 1)
+            pair_costs = top_costs[:, :, left] + top_costs[:, :, right]
+            same = (top % b)[:, :, left] == (top % b)[:, :, right]
+            pair_costs = np.where(same, np.inf, pair_costs)
+            costs = np.concatenate([costs, pair_costs], axis=2)
+            deltas = np.concatenate(
+                [deltas, top_deltas[:, :, left] + top_deltas[:, :, right]],
+                axis=2)
+        probes = min(self.config.num_probes, costs.shape[2])
+        out = np.empty(codes.shape + (1 + probes,), dtype=np.int64)
+        out[..., 0] = codes
+        if probes:
+            if probes < costs.shape[2]:
+                walk = np.argpartition(costs, probes - 1,
+                                       axis=2)[:, :, :probes]
+            else:
+                walk = np.broadcast_to(np.arange(probes), costs.shape[:2]
+                                       + (probes,))
+            out[..., 1:] = codes[:, :, None] + np.take_along_axis(
+                deltas, walk, axis=2)
+        return out
+
+
+def select_neighbor_index(embeddings: np.ndarray,
+                          config: ANNConfig) -> NeighborIndex:
+    """The sign-hash recall probe: pick the serving index a corpus supports.
+
+    Builds the sign-hash :class:`ANNIndex` and replays a sample of the
+    corpus' own members through it, scoring two health signals against the
+    exact ground truth on the same sample: the fraction of queries that
+    fell back to the exact scan (degenerate pools), and recall@5 (sign
+    buckets can be perfectly sized yet carry no distance information on a
+    cluster-free corpus).  A corpus with family/cluster structure passes
+    both checks and keeps the sign hash; a degraded corpus switches to the
+    quantized-projection :class:`E2LSHIndex` when it is large enough for
+    any hash walk to beat the scan, and to the plain :class:`ExactIndex`
+    below that size.
+    """
+    index = ANNIndex(config)
+    index.rebuild(embeddings)
+    if not config.auto_e2lsh:
+        return index
+    n = len(embeddings)
+    sample = min(config.probe_sample, n)
+    if sample == 0:
+        return index
+    rng = np.random.default_rng(config.seed)
+    probe = rng.choice(n, size=sample, replace=False)
+    queries = np.asarray(embeddings)[probe]
+    k = min(5, n)
+    approx, _ = index.search(queries, embeddings, k)
+    fallback = index.last_fallback_fraction
+    pool_fraction = index.last_pool_fraction
+    exact, _ = exact_search(queries, embeddings, k)
+    recall = float(np.mean([len(set(a) & set(e)) / k
+                            for a, e in zip(approx, exact)]))
+    if (fallback <= config.probe_fallback_threshold
+            and recall >= config.probe_min_recall
+            and pool_fraction <= config.probe_max_pool_fraction):
+        return index
+    if n >= config.e2lsh_threshold:
+        e2lsh = E2LSHIndex(config.e2lsh)
+        e2lsh.rebuild(embeddings)
+        return e2lsh
+    return ExactIndex()
 
 
 @dataclass
@@ -410,16 +879,20 @@ class RecommendationCandidateSet:
     def __init__(self, embeddings: np.ndarray | None = None,
                  labels: list[ScoreLabel] | None = None,
                  ann: ANNConfig | None = None):
+        # The buffer keeps the embeddings' precision tier: a float32 corpus
+        # (the serving fast tier) is stored and searched in float32.
         embeddings = (np.zeros((0, 0)) if embeddings is None
-                      else np.asarray(embeddings, dtype=np.float64))
+                      else _as_float_matrix(embeddings))
         self.labels: list[ScoreLabel] = list(labels or [])
         if len(embeddings) != len(self.labels):
             raise ValueError("embeddings and labels must align")
-        self._buffer = np.array(embeddings, dtype=np.float64)
+        self._buffer = np.array(embeddings)
         self._size = len(embeddings)
         self._score_cache: dict[float, np.ndarray] = {}
         self.ann_config = ann
         self._index: NeighborIndex | None = None
+        #: RCS size at the last recall-probe run (see :meth:`add`).
+        self._index_size = 0
         self._sync_index()
 
     def __len__(self) -> int:
@@ -442,25 +915,32 @@ class RecommendationCandidateSet:
         return self.labels[0].model_names
 
     def _sync_index(self) -> None:
-        """Attach the ANN index once membership crosses the threshold."""
+        """Attach a neighbor index once membership crosses the threshold.
+
+        The index family is chosen by the sign-hash recall probe
+        (:func:`select_neighbor_index`): sign-hash LSH when the corpus has
+        cluster structure, the quantized-projection E2LSH otherwise.
+        """
         config = self.ann_config
         if (self._index is None and config is not None and config.threshold > 0
                 and self._size >= config.threshold):
-            self._index = ANNIndex(config)
-            self._index.rebuild(self.embeddings)
+            self._index = select_neighbor_index(self.embeddings, config)
+            self._index_size = self._size
 
     def add(self, embedding: np.ndarray, label: ScoreLabel) -> None:
-        embedding = np.asarray(embedding, dtype=np.float64).ravel()
+        embedding = _as_float_matrix(embedding).ravel()
         dim = embedding.shape[0]
         if self._size == 0:
             if self._buffer.shape[1] != dim or len(self._buffer) == 0:
-                self._buffer = np.zeros((max(4, len(self._buffer)), dim))
+                self._buffer = np.zeros((max(4, len(self._buffer)), dim),
+                                        dtype=embedding.dtype)
         elif self._buffer.shape[1] != dim:
             raise ValueError(
                 f"embedding dimension {dim} != RCS dimension "
                 f"{self._buffer.shape[1]}")
         if self._size == len(self._buffer):
-            grown = np.zeros((max(4, 2 * len(self._buffer)), dim))
+            grown = np.zeros((max(4, 2 * len(self._buffer)), dim),
+                             dtype=self._buffer.dtype)
             grown[:self._size] = self._buffer[:self._size]
             self._buffer = grown
         self._buffer[self._size] = embedding
@@ -469,26 +949,47 @@ class RecommendationCandidateSet:
         self._score_cache.clear()
         if self._index is not None:
             self._index.add(embedding)
+            # Re-run the recall probe once the corpus has doubled since the
+            # index family was chosen (structural drift — clusters forming
+            # or dissolving — can change the right family; doubling keeps
+            # the re-probe cost amortized O(1) per add), and immediately
+            # when an ExactIndex chosen for a scan-sized degraded corpus
+            # crosses the E2LSH size floor.
+            grown = self._size >= 2 * max(self._index_size, 1)
+            graduates = (isinstance(self._index, ExactIndex)
+                         and self._index_size < self.ann_config.e2lsh_threshold
+                         <= self._size)
+            if grown or graduates:
+                self._index = select_neighbor_index(self.embeddings,
+                                                    self.ann_config)
+                self._index_size = self._size
         else:
             self._sync_index()
 
     def replace_embeddings(self, embeddings: np.ndarray) -> None:
-        """Refresh stored embeddings after the encoder is retrained."""
-        embeddings = np.asarray(embeddings, dtype=np.float64)
+        """Refresh stored embeddings after the encoder is retrained.
+
+        Retraining (or a precision-tier switch) can change the corpus
+        geometry, so the recall probe re-selects the index family rather
+        than blindly re-hashing the previous choice.
+        """
+        embeddings = _as_float_matrix(embeddings)
         if len(embeddings) != len(self.labels):
             raise ValueError("embedding count must match labels")
-        self._buffer = np.array(embeddings, dtype=np.float64)
+        self._buffer = np.array(embeddings)
         self._size = len(embeddings)
         self._score_cache.clear()
         if self._index is not None:
-            self._index.rebuild(self.embeddings)
+            self._index = select_neighbor_index(self.embeddings,
+                                                self.ann_config)
+            self._index_size = self._size
         else:
             self._sync_index()
 
     def search(self, queries: np.ndarray,
                k: int) -> tuple[np.ndarray, np.ndarray]:
         """k nearest members per query: ([Q, k] indices, [Q, k] distances)."""
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        queries = _as_float_matrix(queries)
         k = min(k, self._size)
         if self._index is None:
             return exact_search(queries, self.embeddings, k)
@@ -530,8 +1031,7 @@ class KNNPredictor:
     def recommend(self, embedding: np.ndarray, rcs: RecommendationCandidateSet,
                   accuracy_weight: float, k: int | None = None) -> Recommendation:
         return self.recommend_batch(
-            np.atleast_2d(np.asarray(embedding, dtype=np.float64)),
-            rcs, accuracy_weight, k=k)[0]
+            _as_float_matrix(embedding), rcs, accuracy_weight, k=k)[0]
 
     def recommend_batch(self, embeddings: np.ndarray,
                         rcs: RecommendationCandidateSet,
@@ -545,7 +1045,7 @@ class KNNPredictor:
         """
         if len(rcs) == 0:
             raise ValueError("cannot recommend from an empty RCS")
-        embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+        embeddings = _as_float_matrix(embeddings)
         k = k if k is not None else self.k
         k = min(k, len(rcs))
         nearest, neighbor_distances = rcs.search(embeddings, k)   # [Q, k]

@@ -8,7 +8,11 @@ applied to it and can replay them in reverse to accumulate gradients.
 
 Design notes
 ------------
-* Gradients are dense ``float64`` numpy arrays of the same shape as the data.
+* Gradients are dense numpy arrays of the same shape **and dtype** as the
+  data.  ``float64`` is the default working precision; ``float32`` tensors
+  are preserved end-to-end (the advisor's fast serving/training tier), and
+  every op derives its output dtype from its operands, so a graph built from
+  ``float32`` leaves stays ``float32`` through forward and backward.
 * Broadcasting follows numpy semantics; :func:`_unbroadcast` sums gradients
   back down to the original operand shape.
 * The graph is built eagerly and freed after :meth:`Tensor.backward`.
@@ -42,11 +46,18 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED[-1]
 
 
+#: Floating dtypes carried through the graph unchanged; everything else
+#: (ints, bools, float16) is promoted to the float64 default.
+_FLOAT_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+
 def _as_array(value) -> np.ndarray:
-    if isinstance(value, np.ndarray):
-        if value.dtype != np.float64:
-            return value.astype(np.float64)
-        return value
+    if isinstance(value, (np.ndarray, np.generic)):
+        # Full-reduction ufuncs hand back 0-d numpy scalars; they carry a
+        # dtype just like arrays and must not lose a float32 tier.
+        if value.dtype not in _FLOAT_DTYPES:
+            return np.asarray(value, dtype=np.float64)
+        return np.asarray(value)
     return np.asarray(value, dtype=np.float64)
 
 
@@ -185,6 +196,13 @@ class Tensor:
     # Elementwise arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other):
+        if isinstance(other, (int, float)):
+            # Scalar fast path: python scalars follow the array dtype (so
+            # float32 graphs stay float32) and skip a constant graph node.
+            def backward(grad):
+                return ((self, grad),)
+
+            return Tensor._make(self.data + other, (self,), backward)
         other = Tensor.ensure(other)
         data = self.data + other.data
 
@@ -205,6 +223,11 @@ class Tensor:
         return Tensor._make(-self.data, (self,), backward)
 
     def __sub__(self, other):
+        if isinstance(other, (int, float)):
+            def backward(grad):
+                return ((self, grad),)
+
+            return Tensor._make(self.data - other, (self,), backward)
         other = Tensor.ensure(other)
         data = self.data - other.data
 
@@ -217,9 +240,19 @@ class Tensor:
         return Tensor._make(data, (self, other), backward)
 
     def __rsub__(self, other):
+        if isinstance(other, (int, float)):
+            def backward(grad):
+                return ((self, -grad),)
+
+            return Tensor._make(other - self.data, (self,), backward)
         return Tensor.ensure(other) - self
 
     def __mul__(self, other):
+        if isinstance(other, (int, float)):
+            def backward(grad):
+                return ((self, grad * other),)
+
+            return Tensor._make(self.data * other, (self,), backward)
         other = Tensor.ensure(other)
         data = self.data * other.data
         a_data, b_data = self.data, other.data
@@ -235,6 +268,14 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other):
+        if isinstance(other, (int, float)):
+            # Direct division (not multiplication by the reciprocal): bit-
+            # identical to the numpy result, and a zero scalar propagates
+            # inf/nan like an array division instead of raising.
+            def backward(grad):
+                return ((self, grad / other),)
+
+            return Tensor._make(self.data / other, (self,), backward)
         other = Tensor.ensure(other)
         data = self.data / other.data
         a_data, b_data = self.data, other.data
@@ -248,6 +289,13 @@ class Tensor:
         return Tensor._make(data, (self, other), backward)
 
     def __rtruediv__(self, other):
+        if isinstance(other, (int, float)):
+            b_data = self.data
+
+            def backward(grad):
+                return ((self, -grad * other / (b_data * b_data)),)
+
+            return Tensor._make(other / b_data, (self,), backward)
         return Tensor.ensure(other) / self
 
     def __pow__(self, exponent: float):
@@ -313,7 +361,7 @@ class Tensor:
         original_shape = self.data.shape
 
         def backward(grad):
-            full = np.zeros(original_shape, dtype=np.float64)
+            full = np.zeros(original_shape, dtype=grad.dtype)
             np.add.at(full, index, grad)
             return ((self, full),)
 
@@ -354,7 +402,7 @@ class Tensor:
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis=axis)
                 d = np.expand_dims(d, axis=axis)
-            mask = (src == d).astype(np.float64)
+            mask = (src == d).astype(src.dtype)
             mask /= np.maximum(mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum(), 1.0)
             return ((self, mask * g),)
 
@@ -397,7 +445,7 @@ class Tensor:
 
     def leaky_relu(self, slope: float = 0.01) -> "Tensor":
         mask = self.data > 0
-        scale = np.where(mask, 1.0, slope)
+        scale = np.where(mask, 1.0, slope).astype(self.data.dtype, copy=False)
 
         def backward(grad):
             return ((self, grad * scale),)
@@ -429,7 +477,7 @@ class Tensor:
         return Tensor._make(np.abs(self.data), (self,), backward)
 
     def clip(self, low: float, high: float) -> "Tensor":
-        mask = ((self.data >= low) & (self.data <= high)).astype(np.float64)
+        mask = ((self.data >= low) & (self.data <= high)).astype(self.data.dtype)
 
         def backward(grad):
             return ((self, grad * mask),)

@@ -56,6 +56,22 @@ class Module:
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
 
+    def to(self, dtype) -> "Module":
+        """Cast every parameter (and buffered gradient) to ``dtype`` in place.
+
+        The precision tier of a model is the dtype of its parameters: inputs
+        are cast at the module boundary by the callers, and the autograd
+        engine propagates whatever dtype the leaves carry, so one cast here
+        switches the whole forward/backward between float64 and float32.
+        """
+        dtype = np.dtype(dtype)
+        for param in self.parameters():
+            if param.data.dtype != dtype:
+                param.data = param.data.astype(dtype)
+            if param.grad is not None and param.grad.dtype != dtype:
+                param.grad = param.grad.astype(dtype)
+        return self
+
     def state_dict(self) -> dict[str, np.ndarray]:
         state: dict[str, np.ndarray] = {}
         for name, param in self._params.items():

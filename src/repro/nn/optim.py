@@ -80,10 +80,15 @@ class Adam(Optimizer):
         offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
         self._slices = [(int(offsets[i]), int(offsets[i + 1]))
                         for i in range(len(self.params))]
-        self._m_flat = np.zeros(int(offsets[-1]))
-        self._v_flat = np.zeros(int(offsets[-1]))
-        self._grad_flat = np.empty(int(offsets[-1]))
-        self._scratch = np.empty(int(offsets[-1]))
+        # Optimizer state lives in the parameters' dtype: a float32 model
+        # (the fast precision tier) trains with float32 moments, halving the
+        # optimizer's memory traffic along with the model's.
+        dtype = (np.result_type(*[p.data.dtype for p in self.params])
+                 if self.params else np.float64)
+        self._m_flat = np.zeros(int(offsets[-1]), dtype=dtype)
+        self._v_flat = np.zeros(int(offsets[-1]), dtype=dtype)
+        self._grad_flat = np.empty(int(offsets[-1]), dtype=dtype)
+        self._scratch = np.empty(int(offsets[-1]), dtype=dtype)
         self._rebind_data()
         # Per-parameter views of the flat state (used by the fallback loop).
         self._m = [self._m_flat[s:e].reshape(p.data.shape)
@@ -97,8 +102,10 @@ class Adam(Optimizer):
 
         Lets the fused update write ``flat -= update`` in one pass instead
         of a Python scatter loop.  Parameters whose ``.data`` is reassigned
-        elsewhere (e.g. ``load_state_dict``) are detected per step and
-        re-homed before the next fused update.
+        elsewhere (e.g. ``load_state_dict`` or a ``Module.to`` precision
+        switch) are detected per step and re-homed — including a dtype
+        change, which also re-casts the optimizer state — before the next
+        fused update.
         """
         self._data_flat = np.concatenate(
             [param.data.ravel() for param in self.params]) if self.params \
@@ -106,6 +113,17 @@ class Adam(Optimizer):
         for param, (start, stop) in zip(self.params, self._slices):
             param.data = self._data_flat[start:stop].reshape(param.data.shape)
         self._data_views = [param.data for param in self.params]
+        dtype = self._data_flat.dtype
+        if getattr(self, "_m_flat", None) is not None \
+                and self._m_flat.dtype != dtype:
+            self._m_flat = self._m_flat.astype(dtype)
+            self._v_flat = self._v_flat.astype(dtype)
+            self._grad_flat = np.empty(len(self._grad_flat), dtype=dtype)
+            self._scratch = np.empty(len(self._scratch), dtype=dtype)
+            self._m = [self._m_flat[s:e].reshape(p.data.shape)
+                       for p, (s, e) in zip(self.params, self._slices)]
+            self._v = [self._v_flat[s:e].reshape(p.data.shape)
+                       for p, (s, e) in zip(self.params, self._slices)]
 
     def step(self, grad_clip: float | None = None) -> None:
         """One update; ``grad_clip`` folds global-norm clipping into the

@@ -1,0 +1,165 @@
+"""Precision tiers: float32 advisor end-to-end, serving-tier casts, and the
+dtype-aware embedding-cache generation (a float32 node must never be served
+a stale float64 entry from a shared cache directory)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import AutoCE, AutoCEConfig
+from repro.core.dml import DMLConfig
+from repro.core.graph import FeatureGraph
+from repro.core.persistence import load_advisor, save_advisor
+from repro.testbed.scores import DatasetLabel
+
+MODELS = ("A", "B", "C")
+
+
+def small_corpus(n=24, dim=12, seed=0):
+    rng = np.random.default_rng(seed)
+    graphs, labels = [], []
+    for i in range(n):
+        kind = i % 3
+        tables = int(rng.integers(1, 4))
+        vertices = rng.normal(size=(tables, dim)) * 0.3
+        vertices[:, 0] += {0: 2.0, 1: -2.0, 2: 0.0}[kind]
+        edges = np.zeros((tables, tables))
+        for t in range(1, tables):
+            edges[t - 1, t] = 0.5
+        graphs.append(FeatureGraph(f"g{i}", vertices, edges))
+        qerr = {0: [1.1, 3.0, 6.0], 1: [6.0, 1.1, 3.0],
+                2: [3.0, 6.0, 1.1]}[kind]
+        labels.append(DatasetLabel(MODELS, qerr, [0.001, 0.002, 0.003]))
+    return graphs, labels
+
+
+def fast_config(**kwargs):
+    defaults = dict(hidden_dim=16, embedding_dim=8, use_incremental=False,
+                    dml=DMLConfig(epochs=3, batch_size=8), seed=0)
+    defaults.update(kwargs)
+    return AutoCEConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return small_corpus()
+
+
+class TestFloat32Training:
+    def test_float32_fit_serves_float32(self, corpus):
+        graphs, labels = corpus
+        advisor = AutoCE(fast_config(dtype="float32"))
+        advisor.fit(graphs, labels)
+        assert advisor.encoder.dtype == np.float32
+        assert advisor.rcs.embeddings.dtype == np.float32
+        assert advisor.embed(graphs[0]).dtype == np.float32
+        assert advisor.recommend(graphs[0], 0.9).model in MODELS
+
+    def test_recommendations_agree_across_tiers(self, corpus):
+        graphs, labels = corpus
+        models = {}
+        for dtype in ("float64", "float32"):
+            advisor = AutoCE(fast_config(dtype=dtype))
+            advisor.fit(graphs, labels)
+            models[dtype] = [r.model
+                             for r in advisor.recommend_batch(graphs, 0.9)]
+        agreement = np.mean([a == b for a, b in zip(models["float64"],
+                                                    models["float32"])])
+        assert agreement >= 0.99
+
+    def test_set_dtype_downcasts_fitted_advisor(self, corpus):
+        graphs, labels = corpus
+        advisor = AutoCE(fast_config())
+        advisor.fit(graphs, labels)
+        reference = [r.model for r in advisor.recommend_batch(graphs, 0.9)]
+        advisor.set_dtype("float32")
+        assert advisor.encoder.dtype == np.float32
+        assert advisor.rcs.embeddings.dtype == np.float32
+        downcast = [r.model for r in advisor.recommend_batch(graphs, 0.9)]
+        agreement = np.mean([a == b for a, b in zip(reference, downcast)])
+        assert agreement >= 0.99
+
+    def test_set_dtype_rejects_unknown_tier(self, corpus):
+        advisor = AutoCE(fast_config())
+        with pytest.raises(ValueError):
+            advisor.set_dtype("float16")
+
+
+class TestGenerationFoldsDtype:
+    def test_generation_differs_across_tiers(self, corpus):
+        graphs, labels = corpus
+        advisor = AutoCE(fast_config())
+        advisor.fit(graphs, labels)
+        g64 = advisor.embedding_generation()
+        advisor.set_dtype("float32")
+        g32 = advisor.embedding_generation()
+        assert g64 != g32
+
+    def test_set_dtype_clears_in_memory_cache(self, corpus):
+        graphs, labels = corpus
+        advisor = AutoCE(fast_config())
+        advisor.fit(graphs, labels)
+        advisor.recommend(graphs[0], 0.9)
+        assert len(advisor.embedding_cache) > 0
+        advisor.set_dtype("float32")
+        assert len(advisor.embedding_cache) == 0
+
+
+class TestPersistentCacheDtypeRegression:
+    """A dtype switch must invalidate persistent entries exactly like an
+    encoder-weight change (the FeatureGraph fingerprint — the cache key —
+    is dtype-independent, so only the generation stamp separates tiers)."""
+
+    def test_float32_node_never_served_stale_float64_entries(
+            self, corpus, tmp_path):
+        graphs, labels = corpus
+        cache_dir = str(tmp_path / "emb-cache")
+        advisor = AutoCE(fast_config(embedding_cache_dir=cache_dir))
+        advisor.fit(graphs, labels)
+        advisor.recommend_batch(graphs, 0.9)   # populate the disk tier
+        save_advisor(advisor, str(tmp_path / "advisor.npz"))
+        del advisor
+
+        # A restarted node on the same cache directory, now serving the
+        # float32 tier: every embedding must be recomputed at float32, not
+        # promoted from the float64 generation on disk.
+        node = load_advisor(str(tmp_path / "advisor.npz"))
+        node.config.embedding_cache_dir = cache_dir
+        node.set_dtype("float32")
+        embeddings = np.stack([node.embed(g) for g in graphs])
+        assert embeddings.dtype == np.float32
+        cache = node.embedding_cache
+        assert cache.disk_hits == 0
+        fresh = node.encoder.embed(graphs)
+        np.testing.assert_array_equal(embeddings, fresh)
+
+    def test_same_tier_restart_still_warm_starts(self, corpus, tmp_path):
+        """The dtype fold must not break the PR 2 warm-start contract."""
+        graphs, labels = corpus
+        cache_dir = str(tmp_path / "emb-cache")
+        advisor = AutoCE(fast_config(embedding_cache_dir=cache_dir))
+        advisor.fit(graphs, labels)
+        advisor.recommend_batch(graphs, 0.9)
+        save_advisor(advisor, str(tmp_path / "advisor.npz"))
+        del advisor
+
+        node = load_advisor(str(tmp_path / "advisor.npz"))
+        node.config.embedding_cache_dir = cache_dir
+        node.recommend_batch(graphs, 0.9)
+        assert node.embedding_cache.disk_hits == len(graphs)
+
+
+class TestPersistenceRoundTrip:
+    def test_float32_advisor_round_trips(self, corpus, tmp_path):
+        graphs, labels = corpus
+        advisor = AutoCE(fast_config(dtype="float32"))
+        advisor.fit(graphs, labels)
+        before = [r.model for r in advisor.recommend_batch(graphs, 0.9)]
+        save_advisor(advisor, str(tmp_path / "advisor32.npz"))
+        reloaded = load_advisor(str(tmp_path / "advisor32.npz"))
+        assert reloaded.config.dtype == "float32"
+        assert reloaded.encoder.dtype == np.float32
+        assert reloaded.rcs.embeddings.dtype == np.float32
+        after = [r.model for r in reloaded.recommend_batch(graphs, 0.9)]
+        assert before == after

@@ -93,6 +93,7 @@ def tiny_suite(tmp_path_factory):
     return suite
 
 
+@pytest.mark.slow
 class TestSuite:
     def test_train_corpus_size(self, tiny_suite):
         assert len(tiny_suite.train_corpus()) == 8
@@ -117,6 +118,7 @@ class TestSuite:
         assert tiny_suite.autoce() is tiny_suite.autoce()
 
 
+@pytest.mark.slow
 class TestDriverSmoke:
     def test_table4_knn_k(self, tiny_suite):
         from repro.experiments import table4_knn_k

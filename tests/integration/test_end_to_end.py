@@ -12,6 +12,9 @@ import numpy as np
 import pytest
 
 from repro.core import AutoCE, AutoCEConfig, DMLConfig
+
+# Benchmark-scale: excluded from tier-1, run by CI's `-m slow` job.
+pytestmark = pytest.mark.slow
 from repro.core.selection_baselines import RawFeatureKnnSelector, RuleSelector
 from repro.datagen.spec import random_spec
 from repro.experiments.corpus import label_one

@@ -272,9 +272,35 @@ class TestGraphMechanics:
         x = Tensor(np.ones(2), requires_grad=True)
         assert not x.detach().requires_grad
 
-    def test_float32_input_upcast(self):
-        x = Tensor(np.ones(2, dtype=np.float32))
-        assert x.data.dtype == np.float64
+    def test_dtype_handling(self):
+        # float32 is a first-class precision tier and must be preserved;
+        # non-float inputs still promote to the float64 default.
+        assert Tensor(np.ones(2, dtype=np.float32)).data.dtype == np.float32
+        assert Tensor(np.ones(2, dtype=np.int64)).data.dtype == np.float64
+        assert Tensor(np.ones(2, dtype=np.float16)).data.dtype == np.float64
+
+    def test_float32_graph_stays_float32(self):
+        x = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        out = ((x * 2.0 + 1.0).relu().sum() / 3.0) - 0.5
+        assert out.data.dtype == np.float32
+        out.backward()
+        assert x.grad.dtype == np.float32
+
+    def test_scalar_fast_paths_match_tensor_ops(self):
+        x_data = np.array([1.5, -2.0, 3.0])
+        for op in (lambda t, s: t + s, lambda t, s: t - s,
+                   lambda t, s: s - t, lambda t, s: t * s,
+                   lambda t, s: t / s, lambda t, s: s / t):
+            for scalar in (3.0, -0.5, 2):
+                fast = op(Tensor(x_data.copy()), scalar)
+                slow = op(Tensor(x_data.copy()), Tensor(np.float64(scalar)))
+                np.testing.assert_array_equal(fast.numpy(), slow.numpy())
+
+    def test_scalar_division_by_zero_propagates_inf(self):
+        # The scalar fast path must behave like numpy division, not raise.
+        with np.errstate(divide="ignore"):
+            out = Tensor(np.array([1.0, -1.0])) / 0
+        np.testing.assert_array_equal(out.numpy(), [np.inf, -np.inf])
 
 
 @settings(max_examples=25, deadline=None)

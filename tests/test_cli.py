@@ -117,6 +117,25 @@ class TestLabelAndRecommend:
         assert "embedding cache (in-memory)" in out
         assert "neighbor search: exact" in out
 
+    def test_serve_at_float32_tier(self, advisor_file, dataset_file, capsys):
+        code = main(["serve", dataset_file, "--advisor", advisor_file,
+                     "--dtype", "float32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 1 recommendations" in out
+        assert "(float32 tier)" in out
+
+    def test_serve_dtype_cast_preserves_recommendation(self, advisor_file,
+                                                       dataset_file, capsys):
+        assert main(["recommend", dataset_file, "--advisor",
+                     advisor_file]) == 0
+        recommended = [line for line in capsys.readouterr().out.splitlines()
+                       if line.startswith("recommended model:")][0]
+        model = recommended.split(":")[1].strip()
+        assert main(["serve", dataset_file, "--advisor", advisor_file,
+                     "--dtype", "float32"]) == 0
+        assert f"-> {model}" in capsys.readouterr().out
+
     def test_serve_warm_starts_from_cache_dir(self, advisor_file,
                                               dataset_file, tmp_path, capsys):
         cache_dir = str(tmp_path / "serve-cache")
