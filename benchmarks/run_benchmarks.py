@@ -21,7 +21,13 @@ three advisor stages the perf PR targets:
 * ``e2lsh_search``      — exact float32 scan vs the quantized-projection
   ``E2LSHIndex`` on a cluster-free 8192-member RCS (no family structure:
   the corpus where the sign hash stops pruning), with recall@k and the
-  sign hash's pool fraction for reference.
+  sign hash's pool fraction for reference;
+* ``quantized_search``  — the int8 candidate tier: exact float32 scan vs
+  the ``QuantizedStore`` candidate pass (int32-accumulated code distances,
+  top ``k·overfetch`` kept, float re-rank) on GIN embeddings of the
+  8192-member family corpus, with recall@k, plus the mixed-tier serving
+  check — a float64-trained advisor serving float32 + int8 candidates must
+  agree with the float64 reference recommendations.
 
 Writes a machine-readable ``results/BENCH_micro.json`` so future PRs can
 track the perf trajectory, and prints a human-readable table.
@@ -405,6 +411,69 @@ def bench_e2lsh_search(repeats: int, rcs_size: int = 8192,
             "probe_selects": selected}
 
 
+def bench_quantized_search(repeats: int, rcs_size: int = 8192,
+                           num_queries: int = 512, k: int = 5) -> dict:
+    """The int8 candidate tier vs the exact float32 scan.
+
+    Embeddings come from a real GIN encoder over the family corpus, cast to
+    the float32 serving tier.  The quantized pass scans all members in
+    int32-accumulated code space (no square roots, no exact tie machinery),
+    keeps ``k · overfetch`` candidates and re-ranks them in float32; recall
+    and the wall-time are measured against ``exact_search`` on the same
+    queries.  The second half measures the full mixed-tier serving mode:
+    a float64-trained advisor with ``serving_dtype="float32"`` and the int8
+    tier enabled must produce the float64 reference recommendations.
+    """
+    from repro.core.predictor import (QuantizationConfig, QuantizedStore,
+                                      exact_search)
+
+    graphs, _ = family_corpus(rcs_size + num_queries, seed=0)
+    encoder = GINEncoder(graphs[0].vertex_dim, hidden_dim=64,
+                         embedding_dim=32, seed=0)
+    embeddings = encoder.embed(graphs).astype(np.float32)
+    members, queries = embeddings[:rcs_size], embeddings[rcs_size:]
+
+    config = QuantizationConfig(enabled=True)
+    store = QuantizedStore(members, config)
+    store.search(queries, members, k)           # warm both code paths
+    before, after = interleaved_best(
+        lambda: exact_search(queries, members, k),
+        lambda: store.search(queries, members, k), repeats)
+
+    exact_idx, _ = exact_search(queries, members, k)
+    quant_idx, _ = store.search(queries, members, k)
+    recall = float(np.mean([
+        len(set(a) & set(e)) / k for a, e in zip(quant_idx, exact_idx)]))
+
+    # Mixed-tier serving: float64 training loop, float32 + int8 serving.
+    serve_graphs, serve_labels = synthetic_corpus(64)
+    reference = AutoCE(AutoCEConfig(
+        hidden_dim=32, embedding_dim=16, use_incremental=False,
+        embedding_cache_size=0,
+        dml=DMLConfig(epochs=2, batch_size=32), seed=0))
+    reference.fit(serve_graphs, serve_labels)
+    mixed = AutoCE(AutoCEConfig(
+        hidden_dim=32, embedding_dim=16, use_incremental=False,
+        embedding_cache_size=0, serving_dtype="float32",
+        quantization=QuantizationConfig(enabled=True, min_size=8,
+                                        overfetch=4),
+        dml=DMLConfig(epochs=2, batch_size=32), seed=0))
+    mixed.fit(serve_graphs, serve_labels)
+    assert mixed.rcs.quantized is not None, "int8 tier failed to attach"
+    rng = np.random.default_rng(7)
+    serve_queries = [serve_graphs[i]
+                     for i in rng.integers(0, len(serve_graphs), size=100)]
+    agreement = float(np.mean([
+        r64.model == rq.model
+        for r64, rq in zip(reference.recommend_batch(serve_queries, 0.9),
+                           mixed.recommend_batch(serve_queries, 0.9))]))
+    return {"rcs_size": rcs_size, "queries": num_queries, "k": k,
+            "overfetch": config.overfetch, "dtype": "float32 + int8",
+            "recall_at_k": recall, "before_s": before, "after_s": after,
+            "speedup": before / after,
+            "mixed_tier_recommendation_agreement": agreement}
+
+
 def bench_persistent_cache(repeats: int, tmp_root: Path | None = None) -> dict:
     """Kill-and-reload serving-node warm start from the persistent cache.
 
@@ -480,6 +549,7 @@ def main(argv: list[str] | None = None) -> int:
         "persistent_cache": bench_persistent_cache(args.repeats),
         "float32_epoch": bench_float32_epoch(args.repeats),
         "e2lsh_search": bench_e2lsh_search(args.repeats),
+        "quantized_search": bench_quantized_search(args.repeats),
     }
 
     args.output.parent.mkdir(parents=True, exist_ok=True)

@@ -160,8 +160,15 @@ def cmd_recommend(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     advisor = load_advisor(args.advisor)
     if args.dtype:
-        # Serving-tier cast: a float64-trained advisor can serve float32.
+        # Destructive full-tier cast (weights included); raises on an
+        # upcast attempt against the persisted tier.
         advisor.set_dtype(args.dtype)
+    if args.serving_dtype:
+        # Mixed-tier mode: serving embeddings move to this tier while the
+        # encoder keeps its trained precision.
+        advisor.set_serving_dtype(args.serving_dtype)
+    if args.quantize:
+        advisor.set_quantization(True)
     advisor.config.featurize_workers = args.workers
     if args.cache_dir:
         # Write-through disk tier: a restarted node warm-starts from here
@@ -185,8 +192,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     kinds = {"ANNIndex": "ANN (sign-hash LSH)",
              "E2LSHIndex": "ANN (quantized E2LSH)"}
     kind = kinds.get(type(index).__name__, "exact") if index else "exact"
+    tier = f"{advisor.serving_dtype.name} tier"
+    if advisor.config.serving_dtype:
+        tier += f" over {advisor.config.dtype} weights"
+    if advisor.rcs.quantized is not None:
+        tier += " + int8 candidates"
     print(f"neighbor search: {kind} over {len(advisor.rcs)} RCS members "
-          f"({advisor.config.dtype} tier)")
+          f"({tier})")
     return 0
 
 
@@ -283,8 +295,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=0,
                    help="featurization threads (0 = one per CPU, 1 = serial)")
     p.add_argument("--dtype", choices=("float64", "float32"), default=None,
-                   help="serve at this precision tier (default: the tier "
-                        "the advisor was trained at)")
+                   help="destructively cast the whole advisor (weights "
+                        "included) to this tier; upcasting a float32-saved "
+                        "advisor is refused — prefer --serving-dtype for "
+                        "serving-only casts")
+    p.add_argument("--serving-dtype", choices=("float64", "float32"),
+                   default=None,
+                   help="mixed-tier mode: serve RCS and query embeddings at "
+                        "this tier while the encoder keeps its trained "
+                        "precision (e.g. float32 serving over float64 "
+                        "weights)")
+    p.add_argument("--quantize", action="store_true",
+                   help="add the int8 candidate tier: corpus scans rank "
+                        "int8 codes (int32-accumulated kernel) and re-rank "
+                        "the top k*overfetch candidates in the float "
+                        "serving tier")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("experiment",

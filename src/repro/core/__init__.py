@@ -16,8 +16,11 @@ from .losses import (weighted_contrastive_loss, basic_contrastive_loss,
 from .dml import DMLConfig, DMLTrainer
 from .predictor import (ANNConfig, ANNIndex, E2LSHConfig, E2LSHIndex,
                         ExactIndex, KNNPredictor, NeighborIndex,
+                        QuantizationConfig, QuantizedStore,
                         Recommendation, RecommendationCandidateSet,
-                        exact_search, select_neighbor_index,
+                        candidate_scan, exact_search,
+                        quantized_distances_int32_reference,
+                        select_neighbor_index,
                         squared_distance_matrix, top_k_neighbors)
 from .incremental import (IncrementalConfig, AugmentationResult,
                           collect_feedback, augment_with_mixup,
@@ -42,7 +45,9 @@ __all__ = [
     "DMLConfig", "DMLTrainer",
     "ANNConfig", "ANNIndex", "E2LSHConfig", "E2LSHIndex", "ExactIndex",
     "KNNPredictor", "NeighborIndex",
-    "Recommendation", "RecommendationCandidateSet", "exact_search",
+    "QuantizationConfig", "QuantizedStore",
+    "Recommendation", "RecommendationCandidateSet", "candidate_scan",
+    "exact_search", "quantized_distances_int32_reference",
     "select_neighbor_index", "squared_distance_matrix", "top_k_neighbors",
     "IncrementalConfig", "AugmentationResult", "collect_feedback",
     "augment_with_mixup", "incremental_learning",

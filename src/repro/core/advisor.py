@@ -42,6 +42,12 @@ Three knobs grow the serving path past a single warm process:
 * **Parallel featurization** — ``AutoCEConfig.featurize_workers`` fans the
   per-dataset featurizer out over a thread pool (the column kernels are
   numpy-heavy and release the GIL); ``0`` means one worker per CPU.
+* **Mixed precision tiers** — ``AutoCEConfig.serving_dtype`` serves the KNN
+  path at a lower tier than the training loop (float32 embeddings over
+  float64 encoder weights, no destructive downcast), and
+  ``AutoCEConfig.quantization`` adds the int8 candidate tier: corpus scans
+  rank int8 codes with an int32-accumulated kernel and re-rank the top
+  ``k · overfetch`` candidates in the float tier.
 
 ``AutoCEConfig.featurize_sample_rows`` optionally enables the row-sampling
 featurizer sketch for very large tables; the exact featurizer is the
@@ -53,7 +59,7 @@ from __future__ import annotations
 import hashlib
 import os
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -65,8 +71,8 @@ from .encoder import GINEncoder
 from .graph import DEFAULT_MAX_COLUMNS, FeatureGraph, build_feature_graph
 from .incremental import IncrementalConfig, incremental_learning
 from .online import DriftDetector, OnlineAdapter
-from .predictor import (ANNConfig, KNNPredictor, Recommendation,
-                        RecommendationCandidateSet)
+from .predictor import (ANNConfig, KNNPredictor, QuantizationConfig,
+                        Recommendation, RecommendationCandidateSet)
 
 
 @dataclass
@@ -83,6 +89,18 @@ class AutoCEConfig:
     #: KNN kernels, with recommendation agreement measured in the README /
     #: ROADMAP precision-tier section).
     dtype: str = "float64"
+    #: Mixed-tier mode: the precision tier of the *serving* embeddings (the
+    #: RCS and every query embedding), independent of the training tier.
+    #: ``None`` serves at ``dtype``; "float32" over a float64-trained
+    #: advisor keeps the encoder weights at full precision (so later
+    #: ``fit`` / ``adapt_online`` still train in float64) while the KNN
+    #: kernels run on the fast tier — no destructive ``set_dtype`` downcast.
+    serving_dtype: str | None = None
+    #: The int8 candidate tier: symmetric per-dimension codes of the RCS
+    #: embeddings, scanned with an int32-accumulated kernel for candidate
+    #: selection and re-ranked in the float serving tier.
+    quantization: QuantizationConfig = field(
+        default_factory=QuantizationConfig)
     #: The paper's Table IV optimum is k = 2 on a 1 000-dataset corpus; on
     #: this reproduction's smaller default corpus a slightly larger
     #: neighborhood averages out label noise (see the Table IV bench).
@@ -198,9 +216,11 @@ class AutoCE:
         return self
 
     def _rebuild_rcs(self) -> None:
-        embeddings = self.encoder.embed(self._graphs)
-        self.rcs = RecommendationCandidateSet(embeddings, list(self._labels),
-                                              ann=self.config.ann)
+        embeddings = np.asarray(self.encoder.embed(self._graphs),
+                                dtype=self.serving_dtype)
+        self.rcs = RecommendationCandidateSet(
+            embeddings, list(self._labels), ann=self.config.ann,
+            quantization=self.config.quantization)
 
     # ------------------------------------------------------------------
     # Embedding memo-cache
@@ -221,7 +241,17 @@ class AutoCE:
             # weights served at a different dtype produce different
             # embeddings, and a float32 node must never be handed a stale
             # float64 entry (or vice versa) from a shared cache directory.
+            # The serving tier folds in for the same reason: cached rows
+            # live at that tier.  The quantization parameters never change
+            # the cached rows themselves, but they fold in too so one stamp
+            # describes the node's whole serving configuration — a
+            # conservative trade: toggling the candidate tier re-embeds the
+            # working set once rather than ever serving under an ambiguous
+            # generation.
             digest.update(str(self.encoder.dtype).encode())
+            digest.update(str(self.serving_dtype).encode())
+            digest.update(repr(sorted(
+                asdict(self.config.quantization).items())).encode())
             for param in self.encoder.parameters():
                 data = np.ascontiguousarray(param.data)
                 digest.update(str(data.shape).encode())
@@ -263,28 +293,90 @@ class AutoCE:
             self.embedding_cache.clear()
 
     # ------------------------------------------------------------------
-    # Precision tier
+    # Precision tiers
     # ------------------------------------------------------------------
+    @property
+    def serving_dtype(self) -> np.dtype:
+        """The tier of the serving embeddings (RCS rows, query embeddings,
+        embedding-cache entries): ``config.serving_dtype`` when the mixed-
+        tier mode is on, the training ``config.dtype`` otherwise."""
+        return np.dtype(self.config.serving_dtype or self.config.dtype)
+
     def set_dtype(self, dtype) -> "AutoCE":
-        """Switch the advisor's precision tier (e.g. ``"float32"``).
+        """Switch the advisor's *full* precision tier (e.g. ``"float32"``).
 
         On a fitted advisor this casts the encoder weights in place,
         re-embeds the RCS on the new tier and invalidates the embedding
         cache (the generation stamp folds in the dtype, so persistent disk
         entries written at the old tier can never be served at the new one).
         Downcasting a float64-trained advisor to float32 is the supported
-        serving fast tier; the reverse cast does not recover the discarded
-        mantissa bits.
+        destructive cast; *upcasting* a float32-trained (or float32-saved)
+        advisor raises — the discarded mantissa bits are unrecoverable, and
+        silently serving zero-padded float64 weights as if they were the
+        full-precision originals is exactly the kind of bad cast the
+        persistence metadata exists to prevent.  To serve a float64-trained
+        advisor at a lower tier *without* losing the float64 weights, use
+        :meth:`set_serving_dtype` (the mixed-tier mode) instead.
         """
         dtype = np.dtype(dtype)
         if dtype.name not in ("float32", "float64"):
             raise ValueError(f"unsupported precision tier {dtype.name!r}")
+        if (self.encoder is not None
+                and np.dtype(self.encoder.dtype) == np.float32
+                and dtype == np.float64):
+            raise ValueError(
+                "cannot upcast a float32 advisor to float64: the encoder "
+                "weights live at float32 (trained or reloaded from a "
+                "float32 save) and the discarded mantissa bits are "
+                "unrecoverable. "
+                "Retrain at float64, or serve a float64-trained advisor at "
+                "a lower tier with set_serving_dtype()/--serving-dtype "
+                "instead of set_dtype().")
         self.config.dtype = dtype.name
         if self.encoder is not None and self.encoder.dtype != dtype:
             self.encoder.to(dtype)
             self._invalidate_embedding_cache()
             if self._graphs:
                 self._rebuild_rcs()
+        return self
+
+    def set_serving_dtype(self, dtype) -> "AutoCE":
+        """Enter (or leave) the mixed-tier serving mode.
+
+        ``dtype`` of ``None`` serves at the training tier again; "float32"
+        over a float64-trained advisor is the scale-out configuration: the
+        encoder keeps its float64 weights (later ``fit`` / ``adapt_online``
+        calls still train at full precision) while the RCS, the query
+        embeddings and the embedding cache move to the fast tier.  On a
+        fitted advisor the RCS is re-derived from the full-precision encoder
+        and the cache generation re-stamps itself, so entries written at the
+        old serving tier are never served at the new one.
+        """
+        if dtype is not None:
+            dtype = np.dtype(dtype)
+            if dtype.name not in ("float32", "float64"):
+                raise ValueError(
+                    f"unsupported serving precision tier {dtype.name!r}")
+        effective_before = self.serving_dtype
+        self.config.serving_dtype = None if dtype is None else dtype.name
+        # Re-asserting the tier the node already serves at (e.g. `repro
+        # serve --serving-dtype float32` on an advisor *saved* with that
+        # tier) must stay a no-op: the reloaded RCS rows are already
+        # correct, and re-embedding the corpus would throw away exactly the
+        # warm start persistence provides.  The cache stamp folds the
+        # *effective* tier, so it is unchanged too.
+        if self.encoder is not None and self.serving_dtype != effective_before:
+            self._invalidate_embedding_cache()
+            if self._graphs:
+                self._rebuild_rcs()
+        return self
+
+    def set_quantization(self, enabled: bool) -> "AutoCE":
+        """Toggle the int8 candidate tier on the serving path."""
+        self.config.quantization.enabled = bool(enabled)
+        self._invalidate_embedding_cache()
+        if self.rcs is not None:
+            self.rcs.set_quantization(self.config.quantization)
         return self
 
     # ------------------------------------------------------------------
@@ -294,9 +386,10 @@ class AutoCE:
         """Embed graphs through the memo-cache; misses share one forward."""
         cache = self._serving_cache()
         if cache is None:
-            return self.encoder.embed(graphs)
+            return np.asarray(self.encoder.embed(graphs),
+                              dtype=self.serving_dtype)
         out = np.empty((len(graphs), self.encoder.embedding_dim),
-                       dtype=self.encoder.dtype)
+                       dtype=self.serving_dtype)
         miss_indices: list[int] = []
         keys = [graph.fingerprint() for graph in graphs]
         for i, key in enumerate(keys):
@@ -310,8 +403,10 @@ class AutoCE:
             positions_by_key: dict[str, list[int]] = {}
             for i in miss_indices:
                 positions_by_key.setdefault(keys[i], []).append(i)
-            fresh = self.encoder.embed(
-                [graphs[positions[0]] for positions in positions_by_key.values()])
+            fresh = np.asarray(self.encoder.embed(
+                [graphs[positions[0]]
+                 for positions in positions_by_key.values()]),
+                dtype=self.serving_dtype)
             for row, (key, positions) in zip(fresh, positions_by_key.items()):
                 cache.put(key, row)
                 for i in positions:
@@ -370,6 +465,13 @@ class AutoCE:
         graph = dataset if isinstance(dataset, FeatureGraph) else self.featurize(dataset)
         adapter = OnlineAdapter(self.trainer, self.detector, update_epochs)
         adapter.adapt(graph, label, self._graphs, self._labels, self.rcs)
+        if self.rcs.embeddings.dtype != self.serving_dtype:
+            # Safety net only: the adapter refreshes the RCS on its own
+            # tier, so this recast (a second full index re-probe and int8
+            # requantization) runs only if the RCS somehow left the
+            # configured serving tier.
+            self.rcs.replace_embeddings(
+                np.asarray(self.rcs.embeddings, dtype=self.serving_dtype))
         self._invalidate_embedding_cache()
 
     # ------------------------------------------------------------------

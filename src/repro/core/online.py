@@ -66,6 +66,11 @@ class OnlineAdapter:
         graphs.append(graph)
         labels.append(label)
         self.trainer.train(graphs, labels, epochs=self.update_epochs)
-        embeddings = self.trainer.encoder.embed(graphs)
+        # Refresh the RCS on its *own* precision tier: a mixed-tier node
+        # serves (say) float32 embeddings over this float64 training loop,
+        # and replace_embeddings triggers a full index re-probe plus int8
+        # requantization — work that must not run once per tier.
+        embeddings = np.asarray(self.trainer.encoder.embed(graphs),
+                                dtype=rcs.embeddings.dtype)
         rcs.labels = list(labels)
         rcs.replace_embeddings(embeddings)

@@ -36,7 +36,8 @@ from .dml import DMLConfig, DMLTrainer
 from .encoder import GINEncoder
 from .graph import FeatureGraph
 from .incremental import IncrementalConfig
-from .predictor import ANNConfig, E2LSHConfig, RecommendationCandidateSet
+from .predictor import (ANNConfig, E2LSHConfig, QuantizationConfig,
+                        RecommendationCandidateSet)
 
 #: Bump on any change to the on-disk layout.
 FORMAT_VERSION = 1
@@ -65,6 +66,8 @@ def _config_from_dict(payload: dict) -> AutoCEConfig:
         if "e2lsh" in ann:
             ann["e2lsh"] = E2LSHConfig(**ann["e2lsh"])
         payload["ann"] = ANNConfig(**ann)
+    if "quantization" in payload:
+        payload["quantization"] = QuantizationConfig(**payload["quantization"])
     return AutoCEConfig(**payload)
 
 
@@ -168,8 +171,12 @@ def load_advisor(path: str) -> AutoCE:
                          edges=data[f"graph_{i}_edges"])
             for i, name in enumerate(metadata["graph_names"])
         ]
+        # RCS embeddings were saved at the serving tier (which the config
+        # round-trips), so the reloaded node serves — and, when enabled,
+        # requantizes the int8 candidate tier from — the exact same rows.
         advisor.rcs = RecommendationCandidateSet(
-            data["rcs_embeddings"], list(advisor._labels), ann=config.ann)
+            data["rcs_embeddings"], list(advisor._labels), ann=config.ann,
+            quantization=config.quantization)
 
     advisor.trainer = DMLTrainer(advisor.encoder, config.dml)
     return advisor

@@ -28,7 +28,12 @@ and the RCS keeps the chosen index fresh incrementally on
 
 All kernels are precision-tier aware: a float32 embedding matrix (the
 advisor's fast serving tier) is searched in float32 end-to-end, halving the
-memory bandwidth of the distance GEMMs.
+memory bandwidth of the distance GEMMs.  A third, int8 tier
+(:class:`QuantizedStore`) accelerates the *candidate* pass: scan-shaped
+searches (the exhaustive scan and the LSH indexes' exact fallbacks) rank
+the corpus in int32-accumulated code space, keep the top ``k · overfetch``
+candidates and re-rank only those in the float tier — rankings survive
+because the DML metric space only needs neighbor order, not distances.
 """
 
 from __future__ import annotations
@@ -115,6 +120,270 @@ def exact_search(queries: np.ndarray, embeddings: np.ndarray,
     return nearest, np.take_along_axis(distances, nearest, axis=1)
 
 
+# ----------------------------------------------------------------------
+# Int8 candidate tier (the third precision tier)
+# ----------------------------------------------------------------------
+@dataclass
+class QuantizationConfig:
+    """Parameters of the int8 candidate tier (:class:`QuantizedStore`).
+
+    Serving only needs neighbor *rankings* to survive — the DML metric space
+    (Eq. 9) is trained so that rank order, not absolute distance, carries the
+    recommendation signal — which is exactly what a low-precision candidate
+    pass exploits: scan the whole corpus in int8 codes, keep the top
+    ``k · overfetch`` candidates, and re-rank only those in the float tier.
+    """
+
+    #: Attach the int8 candidate tier to the RCS.
+    enabled: bool = False
+    #: Candidate pool per query = ``k · overfetch``; the float-tier re-rank
+    #: only sees this many members, so recall failures require the true
+    #: neighbor to be pushed past ``k · (overfetch − 1)`` impostors by
+    #: quantization error alone.
+    overfetch: int = 8
+    #: Corpora smaller than this serve the plain float scan (at those sizes
+    #: the candidate pass saves nothing worth the second top-k).
+    min_size: int = 64
+    #: Recalibrate the scale/zero-points when more than this fraction of the
+    #: rows added since the last calibration clipped at the int8 range — the
+    #: drift signal that the corpus has outgrown its calibrated envelope.
+    drift_clip_fraction: float = 0.02
+    #: A single row overshooting the calibrated range by this factor
+    #: triggers recalibration immediately (a gross outlier would otherwise
+    #: fold onto the range boundary and alias with every other boundary row).
+    drift_outlier_factor: float = 2.0
+
+
+def quantized_distances_int32_reference(query_codes: np.ndarray,
+                                        member_codes: np.ndarray) -> np.ndarray:
+    """[Q, N] code-space squared distances with literal int32 accumulation.
+
+    The ground truth of the quantized kernel: Gram identity over int8 codes
+    with every product and partial sum carried in int32 (int8·int8 ≤ 127²
+    and a sum over ``d`` dimensions stays far below 2³¹ for any embedding
+    width the encoder produces).  The production path
+    (:meth:`QuantizedStore.code_distances`) computes the *same integers*
+    through a float32 BLAS GEMM; their exact agreement is a property test.
+    """
+    q = np.atleast_2d(query_codes).astype(np.int32)
+    m = np.atleast_2d(member_codes).astype(np.int32)
+    cross = q @ m.T
+    qn = (q * q).sum(axis=1, dtype=np.int32)
+    mn = (m * m).sum(axis=1, dtype=np.int32)
+    return qn[:, None] + mn[None, :] - 2 * cross
+
+
+class QuantizedStore:
+    """Symmetric int8 codes of the RCS embeddings + the candidate kernel.
+
+    Layout: per-dimension zero-points (the midrange of each dimension over
+    the calibration corpus) with one shared symmetric scale.  The shared
+    scale is deliberate — it is the only int8 layout whose code-space
+    distances are *exactly proportional* to dequantized Euclidean distances
+    (``‖x̂_a − x̂_b‖² = scale² · Σ(c_a − c_b)²``; the zero-points cancel),
+    so candidate rankings in pure integer arithmetic are the dequantized
+    float rankings.  Per-dimension scales would shrink the per-dimension
+    rounding error but warp the metric into a range-whitened space, which is
+    precisely what the DML embedding geometry must not be searched in.
+
+    The distance kernel is int32-accumulated: every ``(c_a − c_b)²`` term is
+    an integer and the full Gram-identity result ``‖c_a‖² + ‖c_b‖² −
+    2·c_a·c_b`` is bounded by ``4 · d · 127² < 2²⁴`` for any ``d ≤ 260``, so
+    a float32 GEMM over the codes performs the exact integer accumulation
+    (every intermediate — cross term, norms and the assembled distance —
+    fits the 24-bit mantissa) at BLAS speed — numpy has no fast int8 GEMM.
+    Wider embeddings fall back to a float64 GEMM (exact below 2⁵³).  On top of the
+    scan, :meth:`search` keeps the ``k · overfetch`` best candidates per
+    query and re-ranks them against the live float-tier embedding matrix, so
+    returned distances are always float-tier exact.
+
+    :meth:`add` quantizes appended rows under the frozen calibration and
+    reports drift (clipped rows / gross outliers); the owner — the RCS —
+    responds by calling :meth:`recalibrate` with the live embedding matrix.
+    """
+
+    def __init__(self, embeddings: np.ndarray,
+                 config: QuantizationConfig | None = None):
+        self.config = config or QuantizationConfig()
+        self.scale = 1.0
+        self.zero_point: np.ndarray | None = None   # [d] float64
+        self._codes: np.ndarray | None = None       # [capacity, d] int8
+        self._codes_float: np.ndarray | None = None  # [N, d] GEMM-tier memo
+        self._norms: np.ndarray | None = None       # [capacity] ‖c‖² (float)
+        self._size = 0
+        self._gemm_dtype = np.dtype(np.float32)
+        self._added_since_calibration = 0
+        self._clipped_since_calibration = 0
+        self.recalibrate(embeddings)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def codes(self) -> np.ndarray:
+        """The live [N, d] int8 code matrix."""
+        return self._codes[:self._size]
+
+    # -- calibration ----------------------------------------------------
+    def recalibrate(self, embeddings: np.ndarray) -> None:
+        """(Re)derive scale/zero-points from the corpus and requantize it."""
+        embeddings = _as_float_matrix(embeddings)
+        n, dim = embeddings.shape
+        if n:
+            lo = embeddings.min(axis=0).astype(np.float64)
+            hi = embeddings.max(axis=0).astype(np.float64)
+        else:
+            lo = hi = np.zeros(dim)
+        self.zero_point = (lo + hi) / 2.0
+        # Symmetric shared scale over the widest dimension; the floor keeps
+        # a constant (or single-member, or empty) corpus at all-zero codes
+        # instead of dividing by zero.
+        self.scale = max(float(np.max(hi - self.zero_point, initial=0.0)),
+                         1e-12) / 127.0
+        # The assembled distance ‖c_a‖² + ‖c_b‖² − 2·c_a·c_b reaches
+        # 4 · d · 127² and must fit the GEMM mantissa for the integer
+        # arithmetic to be exact: 24 bits buy d ≤ 260 in float32, float64
+        # covers the rest.
+        self._gemm_dtype = np.dtype(
+            np.float32 if 4 * dim * 127 * 127 < 2 ** 24 else np.float64)
+        capacity = max(4, n)
+        self._codes = np.zeros((capacity, dim), dtype=np.int8)
+        self._codes[:n] = self.quantize(embeddings)
+        self._codes_float = None
+        self._norms = np.zeros(capacity, dtype=self._gemm_dtype)
+        codes = self._codes[:n].astype(self._gemm_dtype)
+        self._norms[:n] = (codes * codes).sum(axis=1)
+        self._size = n
+        self._added_since_calibration = 0
+        self._clipped_since_calibration = 0
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Int8 codes of ``x`` under the current calibration (clipping)."""
+        raw = (np.asarray(_as_float_matrix(x), dtype=np.float64)
+               - self.zero_point) / self.scale
+        return np.clip(np.rint(raw), -127, 127).astype(np.int8)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Float64 reconstruction ``zero_point + scale · codes``."""
+        return self.zero_point + self.scale * np.asarray(codes, np.float64)
+
+    # -- growth ----------------------------------------------------------
+    def add(self, embedding: np.ndarray) -> bool:
+        """Quantize one appended row; True = drift, caller must recalibrate.
+
+        Drift is either a gross outlier (the row overshoots the calibrated
+        range by ``drift_outlier_factor``) or an accumulated clip fraction
+        above ``drift_clip_fraction`` — both mean the frozen scale no longer
+        covers the corpus and code distances are degrading.
+        """
+        row = np.asarray(_as_float_matrix(embedding), np.float64).ravel()
+        raw = (row - self.zero_point) / self.scale
+        overshoot = float(np.max(np.abs(raw), initial=0.0))
+        self._added_since_calibration += 1
+        if overshoot > 127.5:
+            self._clipped_since_calibration += 1
+        if self._size == len(self._codes):
+            grown = np.zeros((2 * self._size, self._codes.shape[1]),
+                             dtype=np.int8)
+            grown[:self._size] = self._codes[:self._size]
+            self._codes = grown
+            grown_norms = np.zeros(2 * self._size, dtype=self._norms.dtype)
+            grown_norms[:self._size] = self._norms[:self._size]
+            self._norms = grown_norms
+        codes = np.clip(np.rint(raw), -127, 127).astype(np.int8)
+        self._codes[self._size] = codes
+        self._codes_float = None
+        c = codes.astype(self._gemm_dtype)
+        self._norms[self._size] = (c * c).sum()
+        self._size += 1
+        if overshoot > 127.5 * self.config.drift_outlier_factor:
+            return True
+        return (self._clipped_since_calibration
+                > self.config.drift_clip_fraction
+                * max(self._added_since_calibration, 1))
+
+    # -- the int32-accumulated candidate kernel --------------------------
+    def code_distances(self, queries: np.ndarray) -> np.ndarray:
+        """[Q, N] code-space squared distances of float-tier queries.
+
+        Exact integer arithmetic end-to-end (see the class docstring for why
+        the float32 GEMM qualifies); multiplied by ``scale²`` this is the
+        dequantized squared Euclidean distance, but candidate selection only
+        ranks, so the factor is never applied.
+
+        The GEMM-tier view of the member codes is memoized between searches
+        (dropped by :meth:`add` / :meth:`recalibrate`): a single-query
+        serving path must not pay an O(N·d) cast per call.  The memo trades
+        the steady-state footprint back up to one float copy of the codes —
+        resident-set-critical deployments can drop it after each search.
+        """
+        qcodes = self.quantize(queries).astype(self._gemm_dtype)
+        if (self._codes_float is None
+                or len(self._codes_float) != self._size):
+            self._codes_float = self._codes[:self._size].astype(
+                self._gemm_dtype)
+        members = self._codes_float
+        cross = qcodes @ members.T
+        query_norms = (qcodes * qcodes).sum(axis=1)
+        return self._norms[:self._size][None, :] - 2.0 * cross \
+            + query_norms[:, None]
+
+    def search(self, queries: np.ndarray, embeddings: np.ndarray,
+               k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Quantized candidate pass + float-tier re-rank.
+
+        The int8 scan ranks the whole corpus in code space and keeps the
+        ``k · overfetch`` best candidates per query — no square roots, no
+        exact tie resolution, just one ``argpartition`` — then the float
+        tier re-ranks that pool exactly (same tie-breaking as
+        :func:`exact_search`, candidates pre-sorted by member index).
+
+        Like the bucketed LSH indexes, the store heals itself when handed
+        an embedding matrix whose length it does not recognize (full
+        recalibration); a same-length geometry change must be announced via
+        :meth:`recalibrate` — the RCS hooks do — or candidates are selected
+        from stale codes (the float re-rank still prices whatever pool
+        comes out, so staleness degrades recall, never distances).
+        """
+        embeddings = np.atleast_2d(np.asarray(embeddings))
+        queries = _as_float_matrix(queries)
+        n = len(embeddings)
+        if n != self._size:
+            self.recalibrate(embeddings)
+        k = min(k, n)
+        pool = k * max(self.config.overfetch, 1)
+        if pool >= n or n < self.config.min_size:
+            return exact_search(queries, embeddings, k)
+        code_sq = self.code_distances(queries)
+        candidates = np.argpartition(code_sq, pool - 1, axis=1)[:, :pool]
+        candidates.sort(axis=1)
+        dtype = _common_dtype(queries, embeddings)
+        queries = queries.astype(dtype, copy=False)
+        gathered = embeddings[candidates].astype(dtype, copy=False)
+        dots = (gathered @ queries[:, :, None])[:, :, 0]
+        member_norms = (gathered * gathered).sum(axis=2)
+        query_norms = (queries * queries).sum(axis=1)
+        sq = np.maximum(member_norms + query_norms[:, None] - 2.0 * dots, 0.0)
+        # Rank the sqrt'd values, exactly as exact_search does: in float32 a
+        # near-tie distinct in squared space can collapse to one value under
+        # sqrt, and the lowest-index tie-break must see what exact_search
+        # sees or the two paths return different k-sets at the boundary.
+        distances = np.sqrt(sq)
+        local = top_k_neighbors(distances, k)
+        return (np.take_along_axis(candidates, local, axis=1),
+                np.take_along_axis(distances, local, axis=1))
+
+
+def candidate_scan(queries: np.ndarray, embeddings: np.ndarray, k: int,
+                   store: "QuantizedStore | None" = None
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """Corpus scan at the best attached precision: int8 candidates when a
+    (size-synced) :class:`QuantizedStore` is available, float otherwise."""
+    if store is not None and len(store) == len(embeddings):
+        return store.search(queries, embeddings, k)
+    return exact_search(queries, embeddings, k)
+
+
 @runtime_checkable
 class NeighborIndex(Protocol):
     """Shared protocol of the exact and approximate serving indexes.
@@ -132,8 +401,15 @@ class NeighborIndex(Protocol):
         """Index one appended row without re-hashing the existing corpus."""
 
     def search(self, queries: np.ndarray, embeddings: np.ndarray,
-               k: int) -> tuple[np.ndarray, np.ndarray]:
-        """([Q, k] neighbor indices, [Q, k] Euclidean distances)."""
+               k: int, *, store: "QuantizedStore | None" = None
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """([Q, k] neighbor indices, [Q, k] Euclidean distances).
+
+        ``store`` optionally provides the int8 candidate tier: scan-shaped
+        passes (the exhaustive search and the LSH indexes' exact fallbacks)
+        run their candidate selection over the int8 codes and re-rank in
+        the float tier.
+        """
 
 
 class ExactIndex:
@@ -146,8 +422,9 @@ class ExactIndex:
         pass
 
     def search(self, queries: np.ndarray, embeddings: np.ndarray,
-               k: int) -> tuple[np.ndarray, np.ndarray]:
-        return exact_search(queries, embeddings, k)
+               k: int, *, store: QuantizedStore | None = None
+               ) -> tuple[np.ndarray, np.ndarray]:
+        return candidate_scan(queries, embeddings, k, store)
 
 
 @dataclass
@@ -233,6 +510,11 @@ class ANNConfig:
     #: activation ray" dominant — and sign-of-projection hashes are blind
     #: along a dominant axis unless the cloud is equalized first.
     whiten: bool = True
+    #: Pin the index family instead of letting the recall probe choose:
+    #: "auto" (the probe), "sign" (:class:`ANNIndex`), "e2lsh"
+    #: (:class:`E2LSHIndex`) or "exact" (:class:`ExactIndex`).  Useful for
+    #: operational pinning and for exercising one specific serving path.
+    family: str = "auto"
     #: Let :func:`select_neighbor_index` (the sign-hash recall probe) swap
     #: in the :class:`E2LSHIndex` when the corpus has no family/cluster
     #: structure for sign buckets to exploit.
@@ -256,6 +538,14 @@ class ANNConfig:
     #: Parameters of the quantized-projection index the probe may select.
     e2lsh: E2LSHConfig = field(default_factory=E2LSHConfig)
     seed: int = 0
+
+    def __post_init__(self):
+        # Fail at configuration time, not from deep inside an online add
+        # when the RCS first crosses the attachment threshold.
+        if self.family not in ("auto", "sign", "e2lsh", "exact"):
+            raise ValueError(
+                f"unknown index family {self.family!r}; expected one of "
+                "'auto', 'sign', 'e2lsh', 'exact'")
 
 
 class _BucketedLSHIndex:
@@ -516,7 +806,8 @@ class _BucketedLSHIndex:
                 np.sqrt(np.take_along_axis(padded, local, axis=1)))
 
     def search(self, queries: np.ndarray, embeddings: np.ndarray,
-               k: int) -> tuple[np.ndarray, np.ndarray]:
+               k: int, *, store: QuantizedStore | None = None
+               ) -> tuple[np.ndarray, np.ndarray]:
         embeddings = np.atleast_2d(np.asarray(embeddings))
         queries = _as_float_matrix(queries)
         dtype = _common_dtype(queries, embeddings)
@@ -529,7 +820,7 @@ class _BucketedLSHIndex:
         if n <= floor:
             self.last_fallback_fraction = 1.0
             self.last_pool_fraction = 1.0
-            return exact_search(queries, embeddings, k)
+            return candidate_scan(queries, embeddings, k, store)
         self._refresh_sort()
         num_queries = len(queries)
         qid, member = self._candidate_pairs(self._probe_codes(queries),
@@ -547,7 +838,7 @@ class _BucketedLSHIndex:
             np.where(fallback, n, pool).mean() / n)
         active = np.nonzero(~fallback)[0]
         if active.size == 0:
-            return exact_search(queries, embeddings, k)
+            return candidate_scan(queries, embeddings, k, store)
 
         indices = np.empty((num_queries, k), dtype=np.int64)
         distances = np.empty((num_queries, k), dtype=dtype)
@@ -562,8 +853,8 @@ class _BucketedLSHIndex:
                 rows, member, pool, offsets, queries, query_norms,
                 embeddings, k)
         if fallback.any():
-            indices[fallback], distances[fallback] = exact_search(
-                queries[fallback], embeddings, k)
+            indices[fallback], distances[fallback] = candidate_scan(
+                queries[fallback], embeddings, k, store)
         return indices, distances
 
 
@@ -815,8 +1106,16 @@ def select_neighbor_index(embeddings: np.ndarray,
     both checks and keeps the sign hash; a degraded corpus switches to the
     quantized-projection :class:`E2LSHIndex` when it is large enough for
     any hash walk to beat the scan, and to the plain :class:`ExactIndex`
-    below that size.
+    below that size.  ``config.family`` pins one family and skips the probe.
     """
+    if config.family != "auto":
+        if config.family == "exact":
+            return ExactIndex()
+        pinned: NeighborIndex = (E2LSHIndex(config.e2lsh)
+                                 if config.family == "e2lsh"
+                                 else ANNIndex(config))
+        pinned.rebuild(embeddings)
+        return pinned
     index = ANNIndex(config)
     index.rebuild(embeddings)
     if not config.auto_e2lsh:
@@ -878,7 +1177,8 @@ class RecommendationCandidateSet:
 
     def __init__(self, embeddings: np.ndarray | None = None,
                  labels: list[ScoreLabel] | None = None,
-                 ann: ANNConfig | None = None):
+                 ann: ANNConfig | None = None,
+                 quantization: QuantizationConfig | None = None):
         # The buffer keeps the embeddings' precision tier: a float32 corpus
         # (the serving fast tier) is stored and searched in float32.
         embeddings = (np.zeros((0, 0)) if embeddings is None
@@ -893,7 +1193,10 @@ class RecommendationCandidateSet:
         self._index: NeighborIndex | None = None
         #: RCS size at the last recall-probe run (see :meth:`add`).
         self._index_size = 0
+        self.quantization = quantization
+        self._quantized: QuantizedStore | None = None
         self._sync_index()
+        self._sync_quantized()
 
     def __len__(self) -> int:
         return len(self.labels)
@@ -907,6 +1210,11 @@ class RecommendationCandidateSet:
     def index(self) -> NeighborIndex | None:
         """The attached neighbor index (None = inline exact search)."""
         return self._index
+
+    @property
+    def quantized(self) -> QuantizedStore | None:
+        """The attached int8 candidate tier (None = float candidates)."""
+        return self._quantized
 
     @property
     def model_names(self) -> tuple[str, ...]:
@@ -926,6 +1234,25 @@ class RecommendationCandidateSet:
                 and self._size >= config.threshold):
             self._index = select_neighbor_index(self.embeddings, config)
             self._index_size = self._size
+
+    def _sync_quantized(self) -> None:
+        """Attach the int8 candidate tier once membership reaches its floor."""
+        config = self.quantization
+        if (self._quantized is None and config is not None and config.enabled
+                and self._size >= config.min_size):
+            self._quantized = QuantizedStore(self.embeddings, config)
+
+    def set_quantization(self, config: QuantizationConfig | None) -> None:
+        """Switch the int8 candidate tier on or off for a live RCS."""
+        self.quantization = config
+        if config is None or not config.enabled:
+            self._quantized = None
+            return
+        if self._quantized is not None:
+            self._quantized.config = config
+            self._quantized.recalibrate(self.embeddings)
+        else:
+            self._sync_quantized()
 
     def add(self, embedding: np.ndarray, label: ScoreLabel) -> None:
         embedding = _as_float_matrix(embedding).ravel()
@@ -965,6 +1292,15 @@ class RecommendationCandidateSet:
                 self._index_size = self._size
         else:
             self._sync_index()
+        if self._quantized is not None:
+            # Requantization hook: the store quantizes the appended row
+            # under its frozen calibration and reports drift (clipping /
+            # gross outliers), at which point the scale and zero-points are
+            # recalibrated from the live corpus.
+            if self._quantized.add(embedding):
+                self._quantized.recalibrate(self.embeddings)
+        else:
+            self._sync_quantized()
 
     def replace_embeddings(self, embeddings: np.ndarray) -> None:
         """Refresh stored embeddings after the encoder is retrained.
@@ -985,6 +1321,12 @@ class RecommendationCandidateSet:
             self._index_size = self._size
         else:
             self._sync_index()
+        if self._quantized is not None:
+            # Retrained embeddings land on new geometry; the old calibration
+            # is meaningless, so requantize the whole corpus.
+            self._quantized.recalibrate(self.embeddings)
+        else:
+            self._sync_quantized()
 
     def search(self, queries: np.ndarray,
                k: int) -> tuple[np.ndarray, np.ndarray]:
@@ -992,8 +1334,10 @@ class RecommendationCandidateSet:
         queries = _as_float_matrix(queries)
         k = min(k, self._size)
         if self._index is None:
-            return exact_search(queries, self.embeddings, k)
-        return self._index.search(queries, self.embeddings, k)
+            return candidate_scan(queries, self.embeddings, k,
+                                  self._quantized)
+        return self._index.search(queries, self.embeddings, k,
+                                  store=self._quantized)
 
     def score_matrix(self, accuracy_weight: float) -> np.ndarray:
         """Memoized [N, m] matrix of member score vectors at one weight."""

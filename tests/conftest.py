@@ -11,6 +11,20 @@ from repro.datagen.spec import DatasetSpec, TableSpec
 from repro.workload.generator import generate_workload
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden", action="store_true", default=False,
+        help="regenerate the golden-file expectations under tests/golden/ "
+             "(run after an *intentional* ranking change, then review the "
+             "diff; the determinism CI job regenerates and diffs them)")
+
+
+@pytest.fixture
+def regen_golden(request):
+    """True when the run should rewrite the golden files instead of diffing."""
+    return request.config.getoption("--regen-golden")
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(1234)

@@ -1,6 +1,8 @@
-"""Precision tiers: float32 advisor end-to-end, serving-tier casts, and the
+"""Precision tiers: float32 advisor end-to-end, serving-tier casts, the
 dtype-aware embedding-cache generation (a float32 node must never be served
-a stale float64 entry from a shared cache directory)."""
+a stale float64 entry from a shared cache directory), the mixed-tier mode
+(low-precision serving over full-precision training weights) and the
+``set_dtype`` tier-conflict guard."""
 
 from __future__ import annotations
 
@@ -11,6 +13,7 @@ from repro.core.advisor import AutoCE, AutoCEConfig
 from repro.core.dml import DMLConfig
 from repro.core.graph import FeatureGraph
 from repro.core.persistence import load_advisor, save_advisor
+from repro.core.predictor import QuantizationConfig
 from repro.testbed.scores import DatasetLabel
 
 MODELS = ("A", "B", "C")
@@ -84,6 +87,191 @@ class TestFloat32Training:
         advisor = AutoCE(fast_config())
         with pytest.raises(ValueError):
             advisor.set_dtype("float16")
+
+
+class TestSetDtypeTierConflict:
+    """Regression: ``set_dtype`` must *raise* on an upcast whose mantissa
+    bits are gone — not silently zero-pad float32 weights into a float64
+    advisor that looks (and stamps cache generations) like the real one."""
+
+    def test_upcasting_a_float32_trained_advisor_raises(self, corpus):
+        graphs, labels = corpus
+        advisor = AutoCE(fast_config(dtype="float32"))
+        advisor.fit(graphs, labels)
+        with pytest.raises(ValueError, match="unrecoverable"):
+            advisor.set_dtype("float64")
+        # The failed cast must leave the advisor untouched and serving.
+        assert advisor.encoder.dtype == np.float32
+        assert advisor.config.dtype == "float32"
+        assert advisor.recommend(graphs[0], 0.9).model in MODELS
+
+    def test_upcasting_a_reloaded_float32_advisor_raises(self, corpus,
+                                                         tmp_path):
+        graphs, labels = corpus
+        advisor = AutoCE(fast_config(dtype="float32"))
+        advisor.fit(graphs, labels)
+        save_advisor(advisor, str(tmp_path / "advisor32.npz"))
+        node = load_advisor(str(tmp_path / "advisor32.npz"))
+        # The persistence metadata says float32; a float64 request conflicts.
+        with pytest.raises(ValueError, match="float32"):
+            node.set_dtype("float64")
+
+    def test_error_points_at_the_mixed_tier_mode(self, corpus):
+        graphs, labels = corpus
+        advisor = AutoCE(fast_config(dtype="float32"))
+        advisor.fit(graphs, labels)
+        with pytest.raises(ValueError, match="serving_dtype"):
+            advisor.set_dtype("float64")
+
+    def test_downcast_then_upcast_round_trip_is_refused(self, corpus):
+        graphs, labels = corpus
+        advisor = AutoCE(fast_config())
+        advisor.fit(graphs, labels)
+        advisor.set_dtype("float32")
+        with pytest.raises(ValueError):
+            advisor.set_dtype("float64")
+
+    def test_unfitted_advisor_may_still_choose_any_tier(self):
+        advisor = AutoCE(fast_config(dtype="float32"))
+        advisor.set_dtype("float64")
+        assert advisor.config.dtype == "float64"
+
+
+class TestMixedTierServing:
+    """``serving_dtype``: float32 serving embeddings over float64 weights,
+    optionally with the int8 candidate tier — no destructive downcast."""
+
+    def test_serving_tier_is_independent_of_the_training_tier(self, corpus):
+        graphs, labels = corpus
+        advisor = AutoCE(fast_config(serving_dtype="float32"))
+        advisor.fit(graphs, labels)
+        assert advisor.encoder.dtype == np.float64       # weights untouched
+        assert advisor.rcs.embeddings.dtype == np.float32
+        assert advisor.embed(graphs[0]).dtype == np.float32
+
+    def test_mixed_tier_recommendations_agree_with_float64(self, corpus):
+        graphs, labels = corpus
+        reference = AutoCE(fast_config())
+        reference.fit(graphs, labels)
+        expected = [r.model for r in reference.recommend_batch(graphs, 0.9)]
+        mixed = AutoCE(fast_config(
+            serving_dtype="float32",
+            quantization=QuantizationConfig(enabled=True, min_size=8,
+                                            overfetch=4)))
+        mixed.fit(graphs, labels)
+        assert mixed.rcs.quantized is not None
+        served = [r.model for r in mixed.recommend_batch(graphs, 0.9)]
+        agreement = np.mean([a == b for a, b in zip(expected, served)])
+        assert agreement >= 0.99
+
+    def test_reasserting_the_active_serving_tier_is_a_no_op(self, corpus,
+                                                            tmp_path):
+        """`repro serve --serving-dtype float32` on an advisor *saved* at
+        that serving tier must not re-embed the corpus: the reloaded RCS
+        rows are the warm start persistence exists to provide."""
+        graphs, labels = corpus
+        advisor = AutoCE(fast_config(serving_dtype="float32"))
+        advisor.fit(graphs, labels)
+        save_advisor(advisor, str(tmp_path / "advisor.npz"))
+        node = load_advisor(str(tmp_path / "advisor.npz"))
+        rcs_before = node.rcs
+        forwards = {"n": 0}
+        original_embed = node.encoder.embed
+        node.encoder.embed = lambda batch: (
+            forwards.__setitem__("n", forwards["n"] + 1)
+            or original_embed(batch))
+        node.set_serving_dtype("float32")
+        assert forwards["n"] == 0
+        assert node.rcs is rcs_before
+        # ...and declaring the training tier explicitly is equally free.
+        plain = AutoCE(fast_config())
+        plain.fit(graphs, labels)
+        rcs_before = plain.rcs
+        plain.set_serving_dtype("float64")
+        assert plain.rcs is rcs_before
+
+    def test_set_serving_dtype_is_reversible(self, corpus):
+        graphs, labels = corpus
+        advisor = AutoCE(fast_config())
+        advisor.fit(graphs, labels)
+        expected = [r.model for r in advisor.recommend_batch(graphs, 0.9)]
+        advisor.set_serving_dtype("float32")
+        assert advisor.rcs.embeddings.dtype == np.float32
+        advisor.set_serving_dtype(None)
+        # Leaving the mixed-tier mode re-derives the RCS from the untouched
+        # float64 weights: bit-identical serving, unlike a set_dtype round
+        # trip (which is refused precisely because it cannot restore this).
+        assert advisor.rcs.embeddings.dtype == np.float64
+        restored = [r.model for r in advisor.recommend_batch(graphs, 0.9)]
+        assert restored == expected
+
+    def test_generation_folds_the_serving_tier_and_quantization(self, corpus):
+        graphs, labels = corpus
+        advisor = AutoCE(fast_config())
+        advisor.fit(graphs, labels)
+        plain = advisor.embedding_generation()
+        advisor.set_serving_dtype("float32")
+        mixed = advisor.embedding_generation()
+        advisor.set_quantization(True)
+        quantized = advisor.embedding_generation()
+        assert len({plain, mixed, quantized}) == 3
+
+    def test_mixed_tier_node_never_serves_stale_float64_cache_entries(
+            self, corpus, tmp_path):
+        graphs, labels = corpus
+        cache_dir = str(tmp_path / "emb-cache")
+        advisor = AutoCE(fast_config(embedding_cache_dir=cache_dir))
+        advisor.fit(graphs, labels)
+        advisor.recommend_batch(graphs, 0.9)     # float64-tier disk entries
+        save_advisor(advisor, str(tmp_path / "advisor.npz"))
+        del advisor
+
+        node = load_advisor(str(tmp_path / "advisor.npz"))
+        node.config.embedding_cache_dir = cache_dir
+        node.set_serving_dtype("float32")
+        embeddings = np.stack([node.embed(g) for g in graphs])
+        assert embeddings.dtype == np.float32
+        assert node.embedding_cache.disk_hits == 0
+
+    def test_adapt_online_stays_on_the_serving_tier(self, corpus):
+        """Online adapting re-embeds at the training tier; a mixed-tier
+        node must come back to the serving tier with its int8 codes
+        requantized for the post-adaptation geometry."""
+        graphs, labels = corpus
+        advisor = AutoCE(fast_config(
+            serving_dtype="float32",
+            quantization=QuantizationConfig(enabled=True, min_size=8,
+                                            overfetch=4)))
+        advisor.fit(graphs, labels)
+        fresh = FeatureGraph("drifted",
+                             np.full((2, 12), 9.0), np.zeros((2, 2)))
+        advisor.adapt_online(fresh, labels[0], update_epochs=1)
+        assert advisor.encoder.dtype == np.float64
+        assert advisor.rcs.embeddings.dtype == np.float32
+        assert advisor.rcs.quantized is not None
+        assert len(advisor.rcs.quantized) == len(advisor.rcs)
+        assert advisor.recommend(graphs[0], 0.9).model in MODELS
+
+    def test_quantized_store_round_trips_through_persistence(self, corpus,
+                                                             tmp_path):
+        graphs, labels = corpus
+        advisor = AutoCE(fast_config(
+            serving_dtype="float32",
+            quantization=QuantizationConfig(enabled=True, min_size=8,
+                                            overfetch=4)))
+        advisor.fit(graphs, labels)
+        before = [r.model for r in advisor.recommend_batch(graphs, 0.9)]
+        save_advisor(advisor, str(tmp_path / "advisor.npz"))
+        node = load_advisor(str(tmp_path / "advisor.npz"))
+        assert node.config.serving_dtype == "float32"
+        assert node.config.quantization.enabled
+        assert node.rcs.embeddings.dtype == np.float32
+        assert node.rcs.quantized is not None
+        np.testing.assert_array_equal(node.rcs.quantized.codes.shape,
+                                      (len(graphs),
+                                       node.encoder.embedding_dim))
+        after = [r.model for r in node.recommend_batch(graphs, 0.9)]
+        assert before == after
 
 
 class TestGenerationFoldsDtype:

@@ -136,6 +136,37 @@ class TestLabelAndRecommend:
                      "--dtype", "float32"]) == 0
         assert f"-> {model}" in capsys.readouterr().out
 
+    def test_serve_mixed_tier_with_int8_candidates(self, advisor_file,
+                                                   dataset_file, capsys):
+        assert main(["recommend", dataset_file, "--advisor",
+                     advisor_file]) == 0
+        recommended = [line for line in capsys.readouterr().out.splitlines()
+                       if line.startswith("recommended model:")][0]
+        model = recommended.split(":")[1].strip()
+        code = main(["serve", dataset_file, "--advisor", advisor_file,
+                     "--serving-dtype", "float32", "--quantize"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"-> {model}" in out
+        assert "float32 tier over float64 weights" in out
+        # The tiny CLI-test corpus sits below the quantization floor, so
+        # the int8 tier stays detached — the flag must still be accepted
+        # and reported truthfully.
+        assert "int8 candidates" not in out
+
+    def test_serve_refuses_upcasting_a_float32_advisor(self, advisor_file,
+                                                       dataset_file,
+                                                       tmp_path):
+        from repro.core.persistence import load_advisor, save_advisor
+
+        advisor = load_advisor(advisor_file)
+        advisor.set_dtype("float32")
+        float32_file = str(tmp_path / "advisor32.npz")
+        save_advisor(advisor, float32_file)
+        with pytest.raises(ValueError, match="unrecoverable"):
+            main(["serve", dataset_file, "--advisor", float32_file,
+                  "--dtype", "float64"])
+
     def test_serve_warm_starts_from_cache_dir(self, advisor_file,
                                               dataset_file, tmp_path, capsys):
         cache_dir = str(tmp_path / "serve-cache")
