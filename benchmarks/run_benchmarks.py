@@ -27,10 +27,17 @@ three advisor stages the perf PR targets:
   top ``k·overfetch`` kept, float re-rank) on GIN embeddings of the
   8192-member family corpus, with recall@k, plus the mixed-tier serving
   check — a float64-trained advisor serving float32 + int8 candidates must
-  agree with the float64 reference recommendations.
+  agree with the float64 reference recommendations;
+* ``pq_search``         — the product-quantization tier on a wide
+  (d = 512) 8192-member synthetic RCS, past the flat-int8 exactness bound:
+  exact float32 scan vs the ``PQStore`` ADC candidate pass (per-subspace
+  codebooks, per-batch lookup tables, top ``k·overfetch`` kept, float
+  re-rank), with recall@k for the plain and residual-refined codebooks.
 
 Writes a machine-readable ``results/BENCH_micro.json`` so future PRs can
 track the perf trajectory, and prints a human-readable table.
+``--only name [name ...]`` re-runs a subset and merges it into the
+existing JSON instead of re-running everything.
 
 Run:  PYTHONPATH=src python benchmarks/run_benchmarks.py [--repeats N]
 """
@@ -57,7 +64,7 @@ from repro.utils.rng import rng_from_seed
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from synth import (MODELS, cluster_free_embeddings, family_corpus,  # noqa: E402
-                   synthetic_corpus)
+                   synthetic_corpus, wide_family_embeddings)
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -474,6 +481,56 @@ def bench_quantized_search(repeats: int, rcs_size: int = 8192,
             "mixed_tier_recommendation_agreement": agreement}
 
 
+def bench_pq_search(repeats: int, rcs_size: int = 8192,
+                    num_queries: int = 512, k: int = 5,
+                    dim: int = 512) -> dict:
+    """The product-quantization tier vs the exact float32 scan, d = 512.
+
+    The corpus sits past the flat-int8 exactness bound (d > 260), so
+    ``select_quantizer`` on the default "auto" mode must hand back the
+    :class:`PQStore`.  The ADC pass replaces the [Q, N] float GEMM with
+    per-batch lookup tables (one small GEMM per subspace codebook) plus
+    ``num_subspaces`` table gathers per member; the top ``k · overfetch``
+    candidates are re-ranked in float32.  Recall@k is measured against the
+    exact scan for both the plain and the residual-refined codebooks.
+    """
+    from repro.core.predictor import (PQStore, QuantizationConfig,
+                                      exact_search, select_quantizer)
+
+    embeddings = wide_family_embeddings(rcs_size + num_queries, dim=dim,
+                                        seed=0)
+    members, queries = embeddings[:rcs_size], embeddings[rcs_size:]
+
+    config = QuantizationConfig(enabled=True)
+    store = select_quantizer(members, config)
+    assert isinstance(store, PQStore), "auto mode must pick PQ at d=512"
+    store.search(queries, members, k)           # warm both code paths
+    before, after = interleaved_best(
+        lambda: exact_search(queries, members, k),
+        lambda: store.search(queries, members, k), repeats)
+
+    exact_idx, _ = exact_search(queries, members, k)
+    pq_idx, _ = store.search(queries, members, k)
+    recall = float(np.mean([
+        len(set(a) & set(e)) / k for a, e in zip(pq_idx, exact_idx)]))
+
+    refined = PQStore(members, QuantizationConfig(enabled=True,
+                                                  residual=True))
+    refined_idx, _ = refined.search(queries, members, k)
+    refined_recall = float(np.mean([
+        len(set(a) & set(e)) / k
+        for a, e in zip(refined_idx, exact_idx)]))
+    return {"rcs_size": rcs_size, "queries": num_queries, "k": k,
+            "dim": dim, "dtype": "float32 + pq",
+            "num_subspaces": store.num_subspaces,
+            "codebook_size": store._codebook_k,
+            "overfetch": config.overfetch,
+            "recall_at_k": recall,
+            "residual_recall_at_k": refined_recall,
+            "before_s": before, "after_s": after,
+            "speedup": before / after}
+
+
 def bench_persistent_cache(repeats: int, tmp_root: Path | None = None) -> dict:
     """Kill-and-reload serving-node warm start from the persistent cache.
 
@@ -533,24 +590,41 @@ def bench_persistent_cache(repeats: int, tmp_root: Path | None = None) -> dict:
         shutil.rmtree(workdir, ignore_errors=True)
 
 
+#: Bench name → runner, in the canonical reporting order.
+BENCHES = {
+    "featurize_corpus": bench_featurize,
+    "dml_epoch": bench_dml_epoch,
+    "recommend_batch": bench_recommend_batch,
+    "ann_search": bench_ann_search,
+    "persistent_cache": bench_persistent_cache,
+    "float32_epoch": bench_float32_epoch,
+    "e2lsh_search": bench_e2lsh_search,
+    "quantized_search": bench_quantized_search,
+    "pq_search": bench_pq_search,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of-N timing repeats (default 3)")
     parser.add_argument("--output", type=Path,
                         default=RESULTS_DIR / "BENCH_micro.json")
+    parser.add_argument("--only", nargs="+", choices=sorted(BENCHES),
+                        default=None, metavar="NAME",
+                        help="run only these benches and merge their "
+                             "results into the existing JSON")
     args = parser.parse_args(argv)
 
-    results = {
-        "featurize_corpus": bench_featurize(args.repeats),
-        "dml_epoch": bench_dml_epoch(args.repeats),
-        "recommend_batch": bench_recommend_batch(args.repeats),
-        "ann_search": bench_ann_search(args.repeats),
-        "persistent_cache": bench_persistent_cache(args.repeats),
-        "float32_epoch": bench_float32_epoch(args.repeats),
-        "e2lsh_search": bench_e2lsh_search(args.repeats),
-        "quantized_search": bench_quantized_search(args.repeats),
-    }
+    selected = args.only or list(BENCHES)
+    results: dict = {}
+    if args.only and args.output.exists():
+        results = json.loads(args.output.read_text())
+    for name in BENCHES:
+        if name in selected:
+            results[name] = BENCHES[name](args.repeats)
+    # Keep the canonical order regardless of what was merged when.
+    results = {name: results[name] for name in BENCHES if name in results}
 
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(results, indent=2) + "\n")

@@ -84,3 +84,21 @@ def family_corpus(n: int, families: int = 256, dim: int = 57,
                 base_latency * rng.uniform(0.9, 1.1, len(MODELS))))
     order = rng.permutation(len(graphs))
     return [graphs[i] for i in order], [labels[i] for i in order]
+
+
+def wide_family_embeddings(n: int, dim: int = 512, families: int = 256,
+                           noise: float = 0.15, seed: int = 0,
+                           dtype=np.float32) -> np.ndarray:
+    """A wide family-structured RCS embedding matrix (d = 512 by default).
+
+    Same family regime as :func:`family_corpus`, but materialized directly
+    in embedding space at a width past the flat-int8 exactness bound
+    (d > 260) — the workload of the ``pq_search`` bench, where
+    ``select_quantizer`` switches the candidate tier to product
+    quantization.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(families, dim)) * 4.0
+    assign = rng.integers(0, families, size=n)
+    members = centers[assign] + noise * rng.normal(size=(n, dim))
+    return members.astype(dtype)

@@ -168,7 +168,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         # encoder keeps its trained precision.
         advisor.set_serving_dtype(args.serving_dtype)
     if args.quantize:
-        advisor.set_quantization(True)
+        # Optional layout pin ("auto" resolves on the embedding width:
+        # flat int8 up to 260 dims, product quantization past that).
+        advisor.set_quantization(True, mode=args.quantize)
     advisor.config.featurize_workers = args.workers
     if args.cache_dir:
         # Write-through disk tier: a restarted node warm-starts from here
@@ -196,7 +198,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if advisor.config.serving_dtype:
         tier += f" over {advisor.config.dtype} weights"
     if advisor.rcs.quantized is not None:
-        tier += " + int8 candidates"
+        tier += f" + {advisor.rcs.quantized.kind} candidates"
     print(f"neighbor search: {kind} over {len(advisor.rcs)} RCS members "
           f"({tier})")
     return 0
@@ -305,11 +307,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "this tier while the encoder keeps its trained "
                         "precision (e.g. float32 serving over float64 "
                         "weights)")
-    p.add_argument("--quantize", action="store_true",
-                   help="add the int8 candidate tier: corpus scans rank "
-                        "int8 codes (int32-accumulated kernel) and re-rank "
-                        "the top k*overfetch candidates in the float "
-                        "serving tier")
+    p.add_argument("--quantize", nargs="?", const="auto", default=None,
+                   choices=("auto", "int8", "pq"),
+                   help="add the quantized candidate tier: corpus scans "
+                        "and LSH re-rank pools rank compressed codes and "
+                        "re-rank the top k*overfetch candidates in the "
+                        "float serving tier.  Optional layout: 'int8' "
+                        "(flat codes, exact integer arithmetic up to 260 "
+                        "dims), 'pq' (product quantization for wider "
+                        "embeddings; one byte per ~32 dims, add "
+                        "residual refinement via the advisor config for "
+                        "recall-critical corpora), or 'auto' (the "
+                        "default: int8 up to 260 dims, pq past that)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("experiment",

@@ -15,12 +15,14 @@ from .losses import (weighted_contrastive_loss, basic_contrastive_loss,
                      pairwise_distances, pair_weights)
 from .dml import DMLConfig, DMLTrainer
 from .predictor import (ANNConfig, ANNIndex, E2LSHConfig, E2LSHIndex,
-                        ExactIndex, KNNPredictor, NeighborIndex,
+                        ExactIndex, INT8_EXACT_MAX_DIM, KNNPredictor,
+                        NeighborIndex, PQStore,
                         QuantizationConfig, QuantizedStore,
                         Recommendation, RecommendationCandidateSet,
                         candidate_scan, exact_search,
                         quantized_distances_int32_reference,
-                        select_neighbor_index,
+                        rerank_candidates, seeded_kmeans,
+                        select_neighbor_index, select_quantizer,
                         squared_distance_matrix, top_k_neighbors)
 from .incremental import (IncrementalConfig, AugmentationResult,
                           collect_feedback, augment_with_mixup,
@@ -45,10 +47,11 @@ __all__ = [
     "DMLConfig", "DMLTrainer",
     "ANNConfig", "ANNIndex", "E2LSHConfig", "E2LSHIndex", "ExactIndex",
     "KNNPredictor", "NeighborIndex",
-    "QuantizationConfig", "QuantizedStore",
+    "INT8_EXACT_MAX_DIM", "PQStore", "QuantizationConfig", "QuantizedStore",
     "Recommendation", "RecommendationCandidateSet", "candidate_scan",
     "exact_search", "quantized_distances_int32_reference",
-    "select_neighbor_index", "squared_distance_matrix", "top_k_neighbors",
+    "rerank_candidates", "seeded_kmeans", "select_neighbor_index",
+    "select_quantizer", "squared_distance_matrix", "top_k_neighbors",
     "IncrementalConfig", "AugmentationResult", "collect_feedback",
     "augment_with_mixup", "incremental_learning",
     "DriftDetector", "OnlineAdapter",

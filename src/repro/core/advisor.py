@@ -45,9 +45,10 @@ Three knobs grow the serving path past a single warm process:
 * **Mixed precision tiers** — ``AutoCEConfig.serving_dtype`` serves the KNN
   path at a lower tier than the training loop (float32 embeddings over
   float64 encoder weights, no destructive downcast), and
-  ``AutoCEConfig.quantization`` adds the int8 candidate tier: corpus scans
-  rank int8 codes with an int32-accumulated kernel and re-rank the top
-  ``k · overfetch`` candidates in the float tier.
+  ``AutoCEConfig.quantization`` adds a quantized candidate tier: corpus
+  scans and the LSH re-rank pools rank compressed codes — flat int8 up to
+  260 dims, product quantization past that (``mode``) — and re-rank the
+  top ``k · overfetch`` candidates in the float tier.
 
 ``AutoCEConfig.featurize_sample_rows`` optionally enables the row-sampling
 featurizer sketch for very large tables; the exact featurizer is the
@@ -59,7 +60,7 @@ from __future__ import annotations
 import hashlib
 import os
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 
 import numpy as np
 
@@ -96,9 +97,10 @@ class AutoCEConfig:
     #: ``fit`` / ``adapt_online`` still train in float64) while the KNN
     #: kernels run on the fast tier — no destructive ``set_dtype`` downcast.
     serving_dtype: str | None = None
-    #: The int8 candidate tier: symmetric per-dimension codes of the RCS
-    #: embeddings, scanned with an int32-accumulated kernel for candidate
-    #: selection and re-ranked in the float serving tier.
+    #: The quantized candidate tier: compressed codes of the RCS
+    #: embeddings (flat int8 or product quantization, see
+    #: ``QuantizationConfig.mode``) scanned for candidate selection and
+    #: re-ranked in the float serving tier.
     quantization: QuantizationConfig = field(
         default_factory=QuantizationConfig)
     #: The paper's Table IV optimum is k = 2 on a 1 000-dataset corpus; on
@@ -371,8 +373,21 @@ class AutoCE:
                 self._rebuild_rcs()
         return self
 
-    def set_quantization(self, enabled: bool) -> "AutoCE":
-        """Toggle the int8 candidate tier on the serving path."""
+    def set_quantization(self, enabled: bool,
+                         mode: str | None = None) -> "AutoCE":
+        """Toggle the quantized candidate tier on the serving path.
+
+        ``mode`` optionally re-pins the code layout: "auto" (flat int8 up
+        to the exactness bound, product quantization for wider
+        embeddings), "int8" or "pq".  The RCS re-selects and recalibrates
+        the store, and the cache generation stamp — which folds in the
+        quantization params — re-derives itself.
+        """
+        if mode is not None:
+            # replace() re-runs QuantizationConfig.__post_init__, so the
+            # mode validation lives in exactly one place.
+            self.config.quantization = replace(self.config.quantization,
+                                               mode=mode)
         self.config.quantization.enabled = bool(enabled)
         self._invalidate_embedding_cache()
         if self.rcs is not None:

@@ -173,7 +173,9 @@ def load_advisor(path: str) -> AutoCE:
         ]
         # RCS embeddings were saved at the serving tier (which the config
         # round-trips), so the reloaded node serves — and, when enabled,
-        # requantizes the int8 candidate tier from — the exact same rows.
+        # recalibrates the quantized candidate tier (int8 codes or PQ
+        # codebooks, per the round-tripped mode/params) from — the exact
+        # same rows.
         advisor.rcs = RecommendationCandidateSet(
             data["rcs_embeddings"], list(advisor._labels), ann=config.ann,
             quantization=config.quantization)

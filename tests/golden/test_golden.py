@@ -1,11 +1,12 @@
 """Golden-file regression: frozen corpus, frozen top-3 recommendations.
 
 ``corpus.npz`` freezes a small labeled corpus and a query set; the JSON
-golden file freezes the top-3 recommendation ranking per query for each of
-the four serving paths (exact / sign-hash / E2LSH / int8-quantized).  Any
-kernel change that silently moves a ranking — featurization, the GIN
-forward, the DML loss, a distance kernel, an index probe — fails the diff
-here even when every behavioral test still passes.
+golden file freezes the top-3 recommendation ranking per query for each
+serving path (exact / sign-hash / E2LSH / int8-quantized / PQ, plus the
+LSH families with quantized re-rank pools).  Any kernel change that
+silently moves a ranking — featurization, the GIN forward, the DML loss,
+a distance kernel, an index probe, a codebook — fails the diff here even
+when every behavioral test still passes.
 
 After an *intentional* ranking change, regenerate with::
 
@@ -92,6 +93,28 @@ def load_corpus() -> tuple[list[FeatureGraph], list[DatasetLabel],
     return graphs, labels, queries
 
 
+def _sign_ann() -> ANNConfig:
+    return ANNConfig(threshold=8, family="sign", min_candidates=4,
+                     num_probes=8, seed=0)
+
+
+def _e2lsh_ann() -> ANNConfig:
+    return ANNConfig(threshold=8, family="e2lsh", seed=0,
+                     e2lsh=E2LSHConfig(seed=0, num_tables=12, num_probes=32,
+                                       min_candidates=4))
+
+
+def _int8_quant(overfetch: int = 4) -> QuantizationConfig:
+    return QuantizationConfig(enabled=True, mode="int8", min_size=8,
+                              overfetch=overfetch)
+
+
+def _pq_quant(overfetch: int = 4) -> QuantizationConfig:
+    return QuantizationConfig(enabled=True, mode="pq", num_subspaces=4,
+                              codebook_size=16, min_size=8,
+                              overfetch=overfetch)
+
+
 def path_config(path: str) -> AutoCEConfig:
     config = AutoCEConfig(hidden_dim=16, embedding_dim=8, knn_k=3,
                           use_incremental=False,
@@ -99,23 +122,33 @@ def path_config(path: str) -> AutoCEConfig:
     if path == "exact":
         config.ann = ANNConfig(threshold=0)
     elif path == "sign":
-        config.ann = ANNConfig(threshold=8, family="sign", min_candidates=4,
-                               num_probes=8, seed=0)
+        config.ann = _sign_ann()
     elif path == "e2lsh":
-        config.ann = ANNConfig(
-            threshold=8, family="e2lsh", seed=0,
-            e2lsh=E2LSHConfig(seed=0, num_tables=12, num_probes=32,
-                              min_candidates=4))
+        config.ann = _e2lsh_ann()
     elif path == "quantized":
         config.ann = ANNConfig(threshold=0)
-        config.quantization = QuantizationConfig(enabled=True, min_size=8,
-                                                 overfetch=4)
+        config.quantization = _int8_quant()
+    elif path == "pq":
+        config.ann = ANNConfig(threshold=0)
+        config.quantization = _pq_quant()
+    elif path == "sign-int8":
+        # Overfetch 2 keeps the code-space pool narrowing engaged on the
+        # frozen 48-member corpus (pools must exceed k · overfetch).
+        config.ann = _sign_ann()
+        config.quantization = _int8_quant(overfetch=2)
+    elif path == "e2lsh-int8":
+        config.ann = _e2lsh_ann()
+        config.quantization = _int8_quant(overfetch=2)
+    elif path == "e2lsh-pq":
+        config.ann = _e2lsh_ann()
+        config.quantization = _pq_quant(overfetch=2)
     else:
         raise ValueError(path)
     return config
 
 
-PATHS = ("exact", "sign", "e2lsh", "quantized")
+PATHS = ("exact", "sign", "e2lsh", "quantized", "pq", "sign-int8",
+         "e2lsh-int8", "e2lsh-pq")
 
 
 def compute_top3(path: str) -> list[list[str]]:

@@ -154,6 +154,23 @@ class TestLabelAndRecommend:
         # and reported truthfully.
         assert "int8 candidates" not in out
 
+    def test_serve_quantize_accepts_a_layout_pin(self, advisor_file,
+                                                 dataset_file, capsys):
+        code = main(["serve", dataset_file, "--advisor", advisor_file,
+                     "--serving-dtype", "float32", "--quantize", "pq"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 1 recommendations" in out
+        # Below the attach floor the tier stays detached — the pinned
+        # layout must still be accepted and reported truthfully.
+        assert "pq candidates" not in out
+
+    def test_serve_quantize_rejects_an_unknown_layout(self, advisor_file,
+                                                      dataset_file):
+        with pytest.raises(SystemExit):
+            main(["serve", dataset_file, "--advisor", advisor_file,
+                  "--quantize", "product"])
+
     def test_serve_refuses_upcasting_a_float32_advisor(self, advisor_file,
                                                        dataset_file,
                                                        tmp_path):
