@@ -29,12 +29,15 @@ Every command is importable and unit-testable (:func:`main` takes argv).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
+from pathlib import Path
 
 import numpy as np
 
 from .core.advisor import AutoCE, AutoCEConfig
-from .core.persistence import load_advisor, save_advisor
+from .core.persistence import AdvisorLoadError, load_advisor, save_advisor
 from .datagen.multi_table import generate_dataset
 from .datagen.presets import (ceb_like, imdb_light_like, power_like,
                               stats_light_like)
@@ -157,8 +160,30 @@ def cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_error(message: str) -> int:
+    """Readable operator-facing failure: one stderr line, exit code 2."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
-    advisor = load_advisor(args.advisor)
+    if not args.datasets and not args.daemon:
+        return _serve_error("no datasets given (pass dataset files, or "
+                            "--daemon to read paths from stdin)")
+    try:
+        advisor = load_advisor(args.advisor)
+    except AdvisorLoadError as error:
+        return _serve_error(str(error))
+    if args.cache_dir:
+        # Fail fast with a readable message when the cache directory cannot
+        # be used, instead of a traceback mid-serve.
+        try:
+            Path(args.cache_dir).mkdir(parents=True, exist_ok=True)
+            if not os.access(args.cache_dir, os.W_OK | os.X_OK):
+                raise OSError("directory is not writable")
+        except OSError as error:
+            return _serve_error(
+                f"cache dir {args.cache_dir!r} is unusable: {error}")
     if args.dtype:
         # Destructive full-tier cast (weights included); raises on an
         # upcast attempt against the persisted tier.
@@ -176,12 +201,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
         # Write-through disk tier: a restarted node warm-starts from here
         # and skips the GIN forward for every dataset it has served before.
         advisor.config.embedding_cache_dir = args.cache_dir
-    datasets = [load_dataset(path) for path in args.datasets]
-    recs = advisor.recommend_batch(datasets, accuracy_weight=args.weight,
-                                   k=args.k)
-    print(f"served {len(recs)} recommendations (w_a = {args.weight})")
-    for dataset, rec in zip(datasets, recs):
-        print(f"  {dataset.name:<24} -> {rec.model}")
+
+    server = None
+    if args.shards:
+        from .serving import ShardedServer
+
+        deadline = (args.deadline_ms / 1000.0
+                    if args.deadline_ms is not None else None)
+        server = ShardedServer.from_advisor(
+            advisor, num_shards=args.shards, deadline=deadline)
+    tier_report = []
+    try:
+        served, degraded, latencies = _serve_requests(args, advisor, server)
+    finally:
+        if server is not None:
+            # Snapshot shard status while the workers are still up — a
+            # report taken after stop() would show every shard down.
+            tier_report = server.tier_report()
+            server.stop()
+
+    line = f"served {served} recommendations (w_a = {args.weight})"
+    if degraded:
+        line += f" ({degraded} degraded)"
+    print(line)
     cache = advisor.embedding_cache
     if cache is not None:
         tier = ("persistent" if args.cache_dir else "in-memory")
@@ -190,18 +232,92 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if args.cache_dir:
             line += f" ({cache.disk_hits} served from disk)"
         print(line)
-    index = advisor.rcs.index
-    kinds = {"ANNIndex": "ANN (sign-hash LSH)",
-             "E2LSHIndex": "ANN (quantized E2LSH)"}
-    kind = kinds.get(type(index).__name__, "exact") if index else "exact"
-    tier = f"{advisor.serving_dtype.name} tier"
-    if advisor.config.serving_dtype:
-        tier += f" over {advisor.config.dtype} weights"
-    if advisor.rcs.quantized is not None:
-        tier += f" + {advisor.rcs.quantized.kind} candidates"
-    print(f"neighbor search: {kind} over {len(advisor.rcs)} RCS members "
-          f"({tier})")
+        failures = getattr(cache, "storage_failures", 0)
+        if failures:
+            print(f"degraded storage: {failures} embedding-cache writes "
+                  "failed (entries are recomputed instead of persisted)")
+    if server is not None:
+        from .testbed.metrics import summarize_latencies
+
+        stats = summarize_latencies(latencies)
+        print(f"latency: p50 {stats['p50'] * 1000:.1f} ms, "
+              f"p95 {stats['p95'] * 1000:.1f} ms, "
+              f"p99 {stats['p99'] * 1000:.1f} ms "
+              f"over {len(latencies)} requests")
+        for report_line in tier_report:
+            print(report_line)
+    else:
+        index = advisor.rcs.index
+        kinds = {"ANNIndex": "ANN (sign-hash LSH)",
+                 "E2LSHIndex": "ANN (quantized E2LSH)"}
+        kind = kinds.get(type(index).__name__, "exact") if index else "exact"
+        tier = f"{advisor.serving_dtype.name} tier"
+        if advisor.config.serving_dtype:
+            tier += f" over {advisor.config.dtype} weights"
+        if advisor.rcs.quantized is not None:
+            tier += f" + {advisor.rcs.quantized.kind} candidates"
+        print(f"neighbor search: {kind} over {len(advisor.rcs)} RCS members "
+              f"({tier})")
     return 0
+
+
+def _serve_requests(args: argparse.Namespace, advisor: AutoCE,
+                    server) -> tuple[int, int, list[float]]:
+    """Serve the batch (or the stdin stream under ``--daemon``).
+
+    Returns (recommendations served, degraded responses, per-request
+    latencies in seconds).  Sharded serving answers one request per
+    dataset so the latency percentiles and the deadline are per-request;
+    the in-process path keeps the single batched call.
+    """
+    from .serving import DegradedServiceError
+
+    latencies: list[float] = []
+    served = 0
+    degraded = 0
+
+    def serve(paths: list[str]) -> None:
+        nonlocal served, degraded
+        datasets = [load_dataset(path) for path in paths]
+        start = time.perf_counter()
+        if server is not None:
+            recs = server.recommend_batch(datasets,
+                                          accuracy_weight=args.weight,
+                                          k=args.k)
+        else:
+            recs = advisor.recommend_batch(datasets,
+                                           accuracy_weight=args.weight,
+                                           k=args.k)
+        latencies.append(time.perf_counter() - start)
+        for dataset, rec in zip(datasets, recs):
+            line = f"  {dataset.name:<24} -> {rec.model}"
+            if getattr(rec, "degraded", False):
+                line += f"  [degraded: coverage {rec.coverage:.2f}]"
+            print(line)
+        served += len(recs)
+        degraded += sum(1 for rec in recs if getattr(rec, "degraded", False))
+
+    if args.daemon:
+        print("daemon: reading dataset paths from stdin (one per line, "
+              "EOF stops)", flush=True)
+        for raw in sys.stdin:
+            path = raw.strip()
+            if not path:
+                continue
+            try:
+                serve([path])
+            except (OSError, DegradedServiceError) as error:
+                print(f"  {path} -> ERROR: {error}", file=sys.stderr)
+            sys.stdout.flush()
+    elif server is not None:
+        for path in args.datasets:
+            try:
+                serve([path])
+            except DegradedServiceError as error:
+                print(f"  {path} -> ERROR: {error}", file=sys.stderr)
+    else:
+        serve(list(args.datasets))
+    return served, degraded, latencies
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -284,8 +400,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("serve",
                        help="batch-serve recommendations for many datasets")
-    p.add_argument("datasets", nargs="+",
-                   help="dataset .npz files produced by 'generate'")
+    p.add_argument("datasets", nargs="*",
+                   help="dataset .npz files produced by 'generate' "
+                        "(optional with --daemon)")
+    p.add_argument("--shards", type=int, default=0,
+                   help="serve through this many supervised shard worker "
+                        "processes (0 = in-process serving); crashed shards "
+                        "are restarted with bounded backoff")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-request latency budget; shards that miss it "
+                        "are cut from the merge and the response is "
+                        "returned degraded with coverage fractions "
+                        "(requires --shards)")
+    p.add_argument("--daemon", action="store_true",
+                   help="read dataset paths from stdin (one per line) and "
+                        "serve each until EOF")
     p.add_argument("--advisor", required=True, help="advisor .npz from 'train'")
     p.add_argument("--weight", type=float, default=1.0,
                    help="accuracy weight w_a in [0, 1]")

@@ -433,6 +433,20 @@ class AutoCE:
         graph = dataset if isinstance(dataset, FeatureGraph) else self.featurize(dataset)
         return self._embed_graphs([graph])[0]
 
+    def embed_many(self, datasets: list[Dataset] | list[FeatureGraph]
+                   ) -> np.ndarray:
+        """Batched query embedding: parallel featurization + one forward.
+
+        The public half of :meth:`recommend_batch`, exposed so external
+        serving paths (the sharded supervisor) can embed through the same
+        memo-cache and then run their own neighbor search.
+        """
+        self._require_fitted()
+        if not datasets:
+            return np.zeros((0, self.encoder.embedding_dim),
+                            dtype=self.serving_dtype)
+        return self._embed_graphs(self.featurize_many(datasets))
+
     def recommend(self, dataset: Dataset | FeatureGraph,
                   accuracy_weight: float = 1.0,
                   k: int | None = None) -> Recommendation:
@@ -460,10 +474,8 @@ class AutoCE:
         self._require_fitted()
         if not datasets:
             return []
-        graphs = self.featurize_many(datasets)
-        embeddings = self._embed_graphs(graphs)
         return self.predictor.recommend_batch(
-            embeddings, self.rcs, accuracy_weight, k=k)
+            self.embed_many(datasets), self.rcs, accuracy_weight, k=k)
 
     # ------------------------------------------------------------------
     # Online adapting (Sec. V-E)

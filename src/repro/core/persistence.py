@@ -26,6 +26,8 @@ Typical usage::
 from __future__ import annotations
 
 import json
+import zipfile
+import zlib
 from dataclasses import asdict
 
 import numpy as np
@@ -41,6 +43,17 @@ from .predictor import (ANNConfig, E2LSHConfig, QuantizationConfig,
 
 #: Bump on any change to the on-disk layout.
 FORMAT_VERSION = 1
+
+
+class AdvisorLoadError(ValueError):
+    """A saved advisor could not be loaded — missing file, torn or
+    corrupt payload, or an incompatible format.
+
+    :func:`load_advisor` is all-or-nothing: any failure raises this (a
+    ``ValueError`` subclass, so pre-existing callers keep working) and
+    never returns a half-restored advisor.  The original exception is
+    chained as ``__cause__``.
+    """
 
 #: DatasetLabel array fields persisted when present (None-able ones last).
 _RAW_LABEL_FIELDS = ("qerror_means", "latency_means", "qerror_medians",
@@ -131,7 +144,24 @@ def save_advisor(advisor: AutoCE, path: str) -> None:
 
 
 def load_advisor(path: str) -> AutoCE:
-    """Reload an advisor saved by :func:`save_advisor`, ready to recommend."""
+    """Reload an advisor saved by :func:`save_advisor`, ready to recommend.
+
+    All-or-nothing: a missing file, a torn/truncated write, flipped bytes,
+    or a format mismatch raise :class:`AdvisorLoadError`; a successfully
+    returned advisor is always fully restored.
+    """
+    try:
+        return _load_advisor(path)
+    except AdvisorLoadError:
+        raise
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile,
+            zlib.error) as error:
+        raise AdvisorLoadError(
+            f"cannot load advisor from {path!r}: "
+            f"{type(error).__name__}: {error}") from error
+
+
+def _load_advisor(path: str) -> AutoCE:
     with np.load(path) as data:
         metadata = json.loads(bytes(data["metadata"]).decode("utf-8"))
         version = metadata.get("format_version")

@@ -65,6 +65,27 @@ def _as_float_matrix(a: np.ndarray) -> np.ndarray:
     return a
 
 
+def require_finite_embeddings(embeddings: np.ndarray,
+                              context: str = "embeddings") -> None:
+    """Reject NaN/inf rows before they enter a candidate set.
+
+    One non-finite row silently poisons everything calibrated from the
+    corpus — quantizer scales collapse to NaN, LSH projections hash every
+    member to the same bucket, distance ties become unordered — so entry
+    points fail loudly instead, naming the offending rows.
+    """
+    matrix = np.atleast_2d(np.asarray(embeddings))
+    finite = np.isfinite(matrix).all(axis=1)
+    if not finite.all():
+        bad = np.flatnonzero(~finite)
+        shown = ", ".join(str(int(i)) for i in bad[:5])
+        more = f" (+{len(bad) - 5} more)" if len(bad) > 5 else ""
+        raise ValueError(
+            f"{context} contain non-finite values in row(s) {shown}{more}; "
+            "NaN/inf embeddings would poison quantizer calibration and "
+            "LSH projections")
+
+
 def _common_dtype(a: np.ndarray, b: np.ndarray) -> np.dtype:
     """The precision tier two operands meet at (float32 only when both are)."""
     da = a.dtype if a.dtype in _FLOAT_DTYPES else np.dtype(np.float64)
@@ -1940,6 +1961,7 @@ class RecommendationCandidateSet:
 
     def add(self, embedding: np.ndarray, label: ScoreLabel) -> None:
         embedding = _as_float_matrix(embedding).ravel()
+        require_finite_embeddings(embedding, "RCS embedding")
         dim = embedding.shape[0]
         if self._size == 0:
             if self._buffer.shape[1] != dim or len(self._buffer) == 0:
@@ -1994,6 +2016,7 @@ class RecommendationCandidateSet:
         than blindly re-hashing the previous choice.
         """
         embeddings = _as_float_matrix(embeddings)
+        require_finite_embeddings(embeddings, "RCS embeddings")
         if len(embeddings) != len(self.labels):
             raise ValueError("embedding count must match labels")
         self._buffer = np.array(embeddings)

@@ -1,0 +1,98 @@
+"""The shard worker: one process, one RCS slice, one tier breaker.
+
+A worker is deliberately boring — it builds its :class:`ShardRuntime`
+once, then loops on its request queue: pull a request, run the fault
+hooks, search, push a :class:`ShardResponse`.  All fault tolerance lives
+in the supervisor; the worker's only obligations are to keep its
+heartbeat fresh and to answer every request it survives long enough to
+see.  A worker that dies mid-request simply never answers — the
+supervisor notices via the process sentinel and the missing response,
+restarts the shard, and *resends* the request to the new incarnation.
+
+Messages cross the process boundary as plain dataclasses of arrays and
+scalars, picklable under both fork and spawn start methods.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..testbed.faults import FaultPlan
+from .breaker import ShardHealth
+from .sharding import ShardRuntime, ShardSpec
+
+
+@dataclass
+class ShardRequest:
+    """One scatter leg: search ``queries`` for ``k`` on one shard."""
+
+    req_id: int
+    queries: np.ndarray
+    k: int
+
+
+@dataclass
+class ShardResponse:
+    """One gather leg.  ``ok=False`` carries a formatted traceback in
+    ``error`` instead of results; the supervisor counts it as a serving
+    error against the shard's breaker."""
+
+    shard_id: int
+    req_id: int
+    ok: bool
+    indices: np.ndarray | None = None       # [Q, k'] global member ids
+    distances: np.ndarray | None = None     # [Q, k'] squared distances
+    tier: str = "exact"
+    health: ShardHealth = field(default_factory=ShardHealth)
+    error: str | None = None
+    pid: int = 0
+
+
+def shard_worker_main(spec: ShardSpec, plan: FaultPlan, incarnation: int,
+                      request_queue, response_queue, heartbeat) -> None:
+    """Entry point of a shard worker process.
+
+    ``heartbeat`` is a shared ``multiprocessing.Value('d')`` the worker
+    stamps with ``time.monotonic()`` whenever it makes progress; the
+    supervisor treats a stale stamp plus a dead sentinel as a crash.
+    ``incarnation`` counts restarts (0 = the original worker) and scopes
+    the fault plan: one-shot kill/slow faults target incarnation 0 only,
+    so a restarted shard serves cleanly.
+    """
+    runtime = ShardRuntime(spec)
+    shard_id = spec.shard_id
+    pid = os.getpid()
+    ordinal = 0
+    heartbeat.value = time.monotonic()
+    while True:
+        msg = request_queue.get()
+        if msg is None:                      # orderly shutdown
+            return
+        ordinal += 1
+        heartbeat.value = time.monotonic()
+        if plan.should_kill(shard_id, ordinal, incarnation):
+            plan.kill_now()
+        plan.maybe_stall(shard_id, ordinal, incarnation)
+        if plan.scramble_tier(shard_id, ordinal, incarnation):
+            runtime.scramble_store()
+        try:
+            indices, distances = runtime.search(msg.queries, msg.k)
+            response = ShardResponse(
+                shard_id=shard_id, req_id=msg.req_id, ok=True,
+                indices=indices, distances=distances,
+                tier=runtime.breaker.tier, health=runtime.last_health,
+                pid=pid)
+        except Exception:
+            runtime.breaker.observe(ShardHealth(errors=1))
+            response = ShardResponse(
+                shard_id=shard_id, req_id=msg.req_id, ok=False,
+                tier=runtime.breaker.tier,
+                health=ShardHealth(errors=1),
+                error=traceback.format_exc(), pid=pid)
+        heartbeat.value = time.monotonic()
+        response_queue.put(response)

@@ -1,11 +1,13 @@
 """The unified cardinality-estimation testbed (dataset labeling)."""
 
-from .metrics import qerror, summarize_qerrors
+from .faults import FaultPlan
+from .metrics import qerror, summarize_latencies, summarize_qerrors
 from .scores import DatasetLabel, ScoreLabel, minmax_scores, WEIGHT_GRID, SCORE_FLOOR
 from .runner import TestbedConfig, ModelPerformance, evaluate_model, run_testbed
 
 __all__ = [
-    "qerror", "summarize_qerrors",
+    "FaultPlan",
+    "qerror", "summarize_latencies", "summarize_qerrors",
     "DatasetLabel", "ScoreLabel", "minmax_scores", "WEIGHT_GRID", "SCORE_FLOOR",
     "TestbedConfig", "ModelPerformance", "evaluate_model", "run_testbed",
 ]

@@ -20,6 +20,7 @@ import json
 import os
 import pickle
 import re
+import warnings
 from collections import OrderedDict
 from pathlib import Path
 
@@ -88,11 +89,21 @@ class DiskCache:
     writers — including separate processes sharing one cache directory —
     never expose a torn pickle.  Reads treat corrupt or concurrently
     deleted entries as misses rather than raising mid-serve.
+
+    A failed write (disk full, read-only directory, quota) never takes the
+    serving path down — the cache is an accelerator, not a durability
+    contract — but it is never silent either: ``put_failures`` counts every
+    lost write and the first one emits a :class:`RuntimeWarning`, so
+    a node quietly serving every query cold is visible in the tier report
+    (``degraded storage``) instead of only in its latency percentiles.
     """
 
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: Writes lost to OSError (disk full / read-only dir / quota).
+        self.put_failures = 0
+        self._warned_put_failure = False
 
     def _path(self, key: str) -> Path:
         # Keys may be arbitrary strings (fingerprints, config reprs, even
@@ -113,12 +124,18 @@ class DiskCache:
                 return pickle.load(handle)
         except FileNotFoundError:
             return default
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError):
-            # A torn write from a crashed process, or an entry pickled by an
-            # incompatible code version: drop it and report a miss.  (A
-            # transient MemoryError is deliberately *not* caught — it is no
-            # evidence of corruption and must not destroy the entry.)
+        except MemoryError:
+            # A transient MemoryError is deliberately re-raised — it is no
+            # evidence of corruption and must not destroy the entry.
+            raise
+        except Exception:
+            # A torn write from a crashed process, flipped bytes, or an
+            # entry pickled by an incompatible code version.  Unpickling
+            # corrupt data can raise nearly anything (UnpicklingError,
+            # EOFError, UnicodeDecodeError, Attribute/Import/Key/Index/
+            # ValueError from opcode garbage), so the net is deliberately
+            # wide: drop the entry and report a miss rather than crash
+            # mid-serve.
             self._discard(path)
             return default
 
@@ -140,6 +157,19 @@ class DiskCache:
             with handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
+        except OSError as error:
+            # Disk full / read-only directory / quota: the entry is lost
+            # (reads will recompute) but serving continues.  Count it and
+            # warn once so degraded storage is observable.
+            self.put_failures += 1
+            if not self._warned_put_failure:
+                self._warned_put_failure = True
+                warnings.warn(
+                    f"DiskCache write to {self.directory} failed "
+                    f"({error}); cache storage is degraded — entries will "
+                    "be recomputed instead of persisted "
+                    "(warning once; see DiskCache.put_failures)",
+                    RuntimeWarning, stacklevel=2)
         finally:
             self._discard(tmp)
 
@@ -207,6 +237,12 @@ class PersistentLRUCache:
     def hits(self) -> int:
         """Hits of the layered cache: served from memory *or* from disk."""
         return self.memory.hits + self.disk_hits
+
+    @property
+    def storage_failures(self) -> int:
+        """Disk writes lost to OSError — nonzero means the persistence
+        tier is degraded (entries live only in memory until restart)."""
+        return self.disk.put_failures
 
     @property
     def misses(self) -> int:

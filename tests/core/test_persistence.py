@@ -10,9 +10,10 @@ import pytest
 from repro.core.advisor import AutoCE, AutoCEConfig
 from repro.core.dml import DMLConfig
 from repro.core.graph import FeatureGraph
-from repro.core.persistence import (FORMAT_VERSION, _label_from_dict,
-                                    _label_to_dict, load_advisor,
-                                    save_advisor)
+from repro.core.persistence import (FORMAT_VERSION, AdvisorLoadError,
+                                    _label_from_dict, _label_to_dict,
+                                    load_advisor, save_advisor)
+from repro.testbed.faults import FaultPlan
 from repro.testbed.scores import DatasetLabel, ScoreLabel
 
 MODELS = ("A", "B", "C")
@@ -184,3 +185,55 @@ class TestLabelPayloads:
         np.testing.assert_array_equal(sub.qerror_means, [3.0, 1.5])
         np.testing.assert_array_equal(restored.label_matrix(),
                                       label.label_matrix())
+
+
+class TestCrashSafety:
+    """Torn and corrupted advisor files (via the fault harness) either load
+    fully or raise AdvisorLoadError — never a half-restored advisor."""
+
+    def saved(self, fitted, tmp_path):
+        advisor, graphs, _ = fitted
+        path = str(tmp_path / "advisor.npz")
+        save_advisor(advisor, path)
+        return advisor, graphs, path
+
+    def test_missing_file_raises_a_typed_error(self, tmp_path):
+        with pytest.raises(AdvisorLoadError, match="cannot load advisor"):
+            load_advisor(str(tmp_path / "never-written.npz"))
+
+    def test_typed_error_is_a_value_error(self):
+        assert issubclass(AdvisorLoadError, ValueError)
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.3, 0.7, 0.95])
+    def test_torn_write_raises_instead_of_half_loading(self, fitted,
+                                                       tmp_path, fraction):
+        _, _, path = self.saved(fitted, tmp_path)
+        FaultPlan(tear_fraction=fraction).tear_file(path)
+        with pytest.raises(AdvisorLoadError):
+            load_advisor(path)
+
+    def test_corrupt_bytes_load_fully_or_raise_typed(self, fitted, tmp_path):
+        advisor, graphs, path = self.saved(fitted, tmp_path)
+        for seed in range(5):
+            clean = str(tmp_path / f"clean{seed}.npz")
+            save_advisor(advisor, clean)
+            FaultPlan(seed=seed, corrupt_bytes=4).corrupt_file(clean)
+            try:
+                reloaded = load_advisor(clean)
+            except AdvisorLoadError:
+                continue
+            # The flips happened to miss anything load-bearing: the advisor
+            # must be *fully* restored, i.e. able to serve every graph.
+            for graph in graphs[:3]:
+                rec = reloaded.recommend(graph, 0.7)
+                assert rec.model in MODELS
+
+    def test_dangling_array_member_raises_typed(self, fitted, tmp_path):
+        # A "format-valid" zip missing a required member (e.g. a partial
+        # copy) must not produce an advisor with half its weights.
+        advisor, _, path = self.saved(fitted, tmp_path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files if k != "param_0"}
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(AdvisorLoadError):
+            load_advisor(path)

@@ -204,3 +204,104 @@ class TestModels:
         assert main(["models"]) == 0
         out = capsys.readouterr().out
         assert "BayesCard" in out and "FLAT" in out
+
+
+class TestServeFaultTolerance:
+    """`repro serve` robustness: readable failures, sharded serving with
+    deadlines, daemon mode, and the degraded-storage report."""
+
+    @pytest.fixture(scope="class")
+    def dataset_files(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("serve_ds")
+        paths = []
+        for seed in (3, 4):
+            path = str(tmp / f"ds{seed}.npz")
+            main(["generate", "--seed", str(seed), "--out", path])
+            paths.append(path)
+        return paths
+
+    @pytest.fixture(scope="class")
+    def advisor_file(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("serve_train")
+        advisor = str(tmp / "advisor.npz")
+        code = main(["train", "--corpus", "8", "--fast", "--out", advisor,
+                     "--cache", str(tmp / "cache")])
+        assert code == 0
+        return advisor
+
+    def test_missing_advisor_is_a_readable_exit_2(self, dataset_files,
+                                                  capsys):
+        code = main(["serve", dataset_files[0],
+                     "--advisor", "/nonexistent/advisor.npz"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: cannot load advisor")
+        assert "Traceback" not in captured.err
+
+    def test_corrupt_advisor_is_a_readable_exit_2(self, dataset_files,
+                                                  tmp_path, capsys):
+        bad = tmp_path / "advisor.npz"
+        bad.write_bytes(b"this is not an npz payload")
+        code = main(["serve", dataset_files[0], "--advisor", str(bad)])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_unusable_cache_dir_is_a_readable_exit_2(self, advisor_file,
+                                                     dataset_files, tmp_path,
+                                                     capsys):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("a file where the cache dir should be")
+        code = main(["serve", dataset_files[0], "--advisor", advisor_file,
+                     "--cache-dir", str(blocker)])
+        assert code == 2
+        assert "cache dir" in capsys.readouterr().err
+
+    def test_no_datasets_without_daemon_is_exit_2(self, advisor_file, capsys):
+        code = main(["serve", "--advisor", advisor_file])
+        assert code == 2
+        assert "no datasets" in capsys.readouterr().err
+
+    def test_sharded_serving_matches_in_process(self, advisor_file,
+                                                dataset_files, capsys):
+        assert main(["serve", *dataset_files, "--advisor", advisor_file]) == 0
+        single = capsys.readouterr().out
+        assert main(["serve", *dataset_files, "--advisor", advisor_file,
+                     "--shards", "2", "--deadline-ms", "30000"]) == 0
+        sharded = capsys.readouterr().out
+        picks = lambda out: [line for line in out.splitlines()
+                             if "->" in line]
+        assert picks(sharded) == picks(single)
+        assert "served 2 recommendations" in sharded
+        assert "latency: p50" in sharded
+        assert "shard 0:" in sharded and "shard 1:" in sharded
+        assert "restarts=0" in sharded
+
+    def test_daemon_serves_stdin_paths_and_reports_bad_ones(
+            self, advisor_file, dataset_files, capsys, monkeypatch):
+        import io
+
+        lines = f"{dataset_files[0]}\n\n/no/such/dataset.npz\n{dataset_files[1]}\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        code = main(["serve", "--daemon", "--advisor", advisor_file,
+                     "--shards", "2"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "served 2 recommendations" in captured.out
+        assert "/no/such/dataset.npz -> ERROR:" in captured.err
+
+    def test_degraded_storage_is_reported(self, advisor_file, dataset_files,
+                                          tmp_path, capsys, monkeypatch):
+        import repro.utils.cache as cache_module
+
+        real_replace = cache_module.os.replace
+
+        def explode(src, dst):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(cache_module.os, "replace", explode)
+        with pytest.warns(RuntimeWarning, match="degraded"):
+            code = main(["serve", dataset_files[0], "--advisor", advisor_file,
+                         "--cache-dir", str(tmp_path / "cache")])
+        monkeypatch.setattr(cache_module.os, "replace", real_replace)
+        assert code == 0
+        assert "degraded storage:" in capsys.readouterr().out

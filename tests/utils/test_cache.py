@@ -180,3 +180,50 @@ class TestPersistentLRUCache:
         # Evicted entries are still served (from disk).
         assert cache.get("k0") == 0
         assert cache.disk_hits == 1
+
+
+class TestDegradedStorage:
+    """A cache that cannot persist (disk full, read-only dir) keeps serving,
+    counts the lost writes, and warns exactly once."""
+
+    def failing_replace(self, monkeypatch):
+        import repro.utils.cache as cache_module
+
+        def explode(src, dst):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(cache_module.os, "replace", explode)
+
+    def test_failed_put_is_counted_and_warns_once(self, tmp_path, monkeypatch):
+        cache = DiskCache(tmp_path)
+        self.failing_replace(monkeypatch)
+        with pytest.warns(RuntimeWarning, match="degraded"):
+            cache.put("k", 1)
+        assert cache.put_failures == 1
+        # Subsequent failures count silently (no warning spam).
+        import warnings as warnings_module
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            cache.put("k", 2)
+            cache.put("j", 3)
+        assert cache.put_failures == 3
+        # The entry was simply lost; reads see a miss, not an exception.
+        assert cache.get("k", MISSING) is MISSING
+
+    def test_failed_put_leaves_no_temp_litter(self, tmp_path, monkeypatch):
+        cache = DiskCache(tmp_path)
+        self.failing_replace(monkeypatch)
+        with pytest.warns(RuntimeWarning):
+            cache.put("k", list(range(100)))
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_layered_cache_surfaces_storage_failures(self, tmp_path,
+                                                     monkeypatch):
+        cache = PersistentLRUCache(tmp_path, maxsize=4, generation="g")
+        assert cache.storage_failures == 0
+        self.failing_replace(monkeypatch)
+        with pytest.warns(RuntimeWarning):
+            cache.put("k", 41)
+        assert cache.storage_failures == 1
+        # The memory tier still serves the value this process computed.
+        assert cache.get("k") == 41
