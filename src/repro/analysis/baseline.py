@@ -1,0 +1,92 @@
+"""The grandfathered-findings baseline of ``repro check``.
+
+The baseline is a committed JSON file mapping finding keys
+(``RULE::path::message`` — line numbers deliberately excluded, so
+unrelated edits that shift code do not churn it) to occurrence counts.
+``repro check`` fails only on findings *beyond* the baseline; stale
+entries (baselined findings that no longer fire) are reported so the
+file ratchets down toward empty instead of fossilizing.
+
+The file format is sorted and pretty-printed: a baseline change in a PR
+must read as a reviewable diff, not a blob.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .engine import Finding
+
+_VERSION = 1
+
+
+@dataclass
+class BaselineDiff:
+    """Current findings split against a baseline."""
+
+    new: list[Finding]                 # beyond the baselined count
+    baselined: list[Finding]           # covered by the baseline
+    stale: dict[str, int]              # key -> baselined-but-unseen count
+
+
+@dataclass
+class Baseline:
+    entries: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or "entries" not in data:
+            raise ValueError(
+                f"baseline {path} is not a repro-check baseline "
+                "(expected an object with an 'entries' map)")
+        entries = {str(key): int(count)
+                   for key, count in data["entries"].items()}
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        counts = Counter(f.baseline_key for f in findings)
+        return cls(entries=dict(counts))
+
+    def save(self, path: Path | str) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": _VERSION,
+            "comment": "Grandfathered `repro check` findings. Keys are "
+                       "RULE::path::message; shrink this file, never "
+                       "grow it (new findings need a fix or a pragma).",
+            "entries": dict(sorted(self.entries.items())),
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False)
+                        + "\n", encoding="utf-8")
+
+    def diff(self, findings: list[Finding]) -> BaselineDiff:
+        """Split ``findings`` into new vs baselined, and list stale keys.
+
+        With several findings sharing a key, the first ``count`` of them
+        (in the engine's deterministic order) are treated as baselined and
+        the remainder as new — the split itself never depends on dict or
+        set iteration order.
+        """
+        remaining = Counter(self.entries)
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = {key: count for key, count in sorted(remaining.items())
+                 if count > 0}
+        return BaselineDiff(new=new, baselined=baselined, stale=stale)

@@ -1,0 +1,81 @@
+"""REP001: every random draw must flow from an explicit seed."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, ModuleSource, Rule, resolve_call_name
+
+#: numpy.random attributes that *construct* seeded generators — the
+#: sanctioned entry points.  Everything else on the module (``rand``,
+#: ``normal``, ``shuffle``, even ``seed`` itself) draws from or mutates
+#: the hidden process-global BitGenerator.
+_SEEDED_FACTORIES = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+
+class UnseededRngRule(Rule):
+    id = "REP001"
+    title = "unseeded RNG"
+    severity = "error"
+    contract = """\
+Every source of randomness under src/repro must be an explicitly seeded
+np.random.Generator: construct it with np.random.default_rng(seed) (or
+np.random.SeedSequence(entropy)) and thread it through `rng:
+np.random.Generator` parameters.  Flagged: np.random.default_rng() /
+np.random.SeedSequence() with no argument, any other np.random.* module
+call (they read or mutate the hidden process-global state), and any use
+of the stdlib `random` module."""
+    rationale = """\
+The repo's correctness story is bit-for-bit determinism: golden and
+metamorphic matrices, the double-run CI jobs, and the seeded fault
+drills all diff two runs against each other.  One unseeded draw anywhere
+in a serving or training path silently breaks every one of those checks
+— and "Are We Ready For Learned Cardinality Estimation?" shows learned-CE
+results are fragile to exactly this kind of hidden nondeterminism."""
+    example_bad = """\
+rng = np.random.default_rng()          # unseeded
+noise = np.random.standard_normal(8)   # hidden global state
+jitter = random.random()               # stdlib global Mersenne Twister"""
+    example_good = """\
+rng = np.random.default_rng(config.seed)
+noise = rng.standard_normal(8)
+child = np.random.default_rng(np.random.SeedSequence(entropy))"""
+
+    def check_module(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call_name(node.func, module.aliases)
+            if name is None:
+                continue
+            if name in ("numpy.random.default_rng",
+                        "numpy.random.SeedSequence"):
+                if not node.args and not node.keywords:
+                    short = name.rsplit(".", 1)[-1]
+                    yield self.finding(
+                        module.path, node,
+                        f"np.random.{short}() without a seed draws fresh "
+                        "OS entropy every run; pass an explicit seed (or "
+                        "SeedSequence) and thread the generator through "
+                        "`rng: np.random.Generator` parameters")
+            elif name.startswith("numpy.random."):
+                attr = name.split(".", 2)[2]
+                if attr.split(".")[0] not in _SEEDED_FACTORIES:
+                    yield self.finding(
+                        module.path, node,
+                        f"module-level np.random.{attr}() uses the hidden "
+                        "process-global BitGenerator; draw from an "
+                        "explicitly seeded np.random.default_rng(seed) "
+                        "generator instead")
+            elif name == "random" or name.startswith("random."):
+                attr = name.split(".", 1)[1] if "." in name else name
+                yield self.finding(
+                    module.path, node,
+                    f"stdlib random.{attr}() is banned under src/repro "
+                    "(process-global Mersenne Twister, not covered by the "
+                    "golden/metamorphic determinism matrix); use a seeded "
+                    "np.random.default_rng(seed)")

@@ -1,0 +1,78 @@
+"""REP002: wall-clock reads stay out of deterministic paths."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, ModuleSource, Rule, resolve_call_name
+
+#: Clock reads that make a code path depend on when (or how fast) it ran.
+_WALLCLOCK = frozenset({
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Modules (paths inside src/repro) whose *contract* is to measure time:
+#: the timing utility, the latency metrics/labeling harness, the
+#: supervisor's deadline + heartbeat machinery, and the latency
+#: experiments/simulators.  Everything else needs a per-line pragma.
+DEFAULT_ALLOWLIST = frozenset({
+    "utils/timing.py",
+    "testbed/metrics.py",
+    "testbed/runner.py",
+    "serving/supervisor.py",
+    "serving/worker.py",
+    "engine/e2e.py",
+    "engine/execution.py",
+    "experiments/fig12_online_learning.py",
+})
+
+
+class WallclockRule(Rule):
+    id = "REP002"
+    title = "wall-clock read in a deterministic path"
+    severity = "warning"
+    contract = """\
+time.time / time.perf_counter / time.monotonic (and _ns variants,
+process_time, datetime.now/utcnow/today) are confined to the modules
+whose job is timing: utils/timing.py, testbed/metrics.py,
+testbed/runner.py (latency labeling), serving/supervisor.py and
+serving/worker.py (deadlines and heartbeats), and the latency
+experiments (engine/e2e.py, engine/execution.py,
+fig12_online_learning.py).  Anywhere else a clock read is either dead
+weight or — worse — feeding a value that varies run to run into a path
+the determinism matrix believes is pure."""
+    rationale = """\
+Deadlines, backoff and latency percentiles are legitimately wall-clock
+driven, and the breaker is deliberately request-counted instead so the
+fault drills replay bit-identically.  Keeping the clock reads inside the
+declared timing modules makes "does anything nondeterministic feed this
+kernel?" a grep instead of an audit."""
+    example_bad = """\
+# inside core/predictor.py
+cache_stamp = time.time()          # run-dependent value in a kernel path"""
+    example_good = """\
+start = time.perf_counter()        # inside testbed/runner.py (allowlisted)
+latency = time.perf_counter() - start"""
+
+    def __init__(self, allowlist: frozenset[str] = DEFAULT_ALLOWLIST) -> None:
+        self.allowlist = allowlist
+
+    def check_module(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.module_rel in self.allowlist:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call_name(node.func, module.aliases)
+            if name in _WALLCLOCK:
+                yield self.finding(
+                    module.path, node,
+                    f"{name}() read outside the timing-module allowlist; "
+                    "move the measurement into a timing module or mark "
+                    "the deliberate exception with a pragma")

@@ -1,0 +1,125 @@
+"""REP004: everything that crosses a process boundary must pickle."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, ModuleSource, Rule, resolve_call_name
+
+#: The module inside src/repro whose handlers must stay stateless.
+_WORKER_MODULE = "serving/worker.py"
+
+
+def _is_process_ctor(node: ast.Call, aliases: dict[str, str]) -> bool:
+    """`multiprocessing.Process(...)` or any `<ctx>.Process(...)` call.
+
+    Context objects (`mp.get_context("fork").Process`, `self._ctx.Process`)
+    cannot be resolved to a module statically, so any attribute call named
+    `Process` counts — a false positive here is a pragma away, a false
+    negative is a worker that dies on spawn."""
+    name = resolve_call_name(node.func, aliases)
+    if name is not None:
+        return name == "multiprocessing.Process" or name.endswith(".Process")
+    return (isinstance(node.func, ast.Attribute)
+            and node.func.attr == "Process")
+
+
+class ForkSafetyRule(Rule):
+    id = "REP004"
+    title = "fork/pickle-unsafe process boundary"
+    severity = "error"
+    contract = """\
+Worker process targets and queue messages must survive pickling under
+both fork and spawn start methods.  Flagged: a lambda or a nested
+(function-local) function passed as the target= of a Process
+constructor; a bound method (`self.method`, `obj.method`) as a Process
+target; a lambda placed directly on a queue via .put()/.put_nowait();
+and `global` statements inside functions of serving/worker.py — worker
+handlers must not accumulate module-level state, because a restarted
+incarnation starts from a fresh interpreter and silently forgets it."""
+    rationale = """\
+The PR-6 supervisor restarts crashed shard workers and *resends* the
+request the dead worker was holding; that story only holds if every
+request, response and worker entry point rebuilds identically in a fresh
+process.  Lambdas and closures pickle under neither start method, bound
+methods drag their whole instance through the boundary, and hidden
+module state diverges between incarnations — each one turns a clean
+restart into a fault drill that only fails sometimes."""
+    example_bad = """\
+proc = ctx.Process(target=lambda: serve(shard))      # unpicklable target
+queue.put(lambda: retry(req))                        # closure on a queue
+def handler(msg):
+    global served_total                              # state a restart loses
+    served_total += 1"""
+    example_good = """\
+proc = ctx.Process(target=shard_worker_main,         # module-level function
+                   args=(spec, plan, incarnation, req_q, resp_q, beat))
+queue.put(ShardRequest(req_id=7, queries=q, k=5))    # plain dataclass"""
+
+    def check_module(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                if _is_process_ctor(node, module.aliases):
+                    yield from self._check_target(module, node)
+                yield from self._check_queue_put(module, node)
+        if module.module_rel == _WORKER_MODULE:
+            yield from self._check_worker_state(module)
+
+    def _check_target(self, module: ModuleSource,
+                      node: ast.Call) -> Iterator[Finding]:
+        target: ast.expr | None = None
+        for keyword in node.keywords:
+            if keyword.arg == "target":
+                target = keyword.value
+        if target is None and len(node.args) > 1:
+            target = node.args[1]            # Process(group, target, ...)
+        if target is None:
+            return
+        if isinstance(target, ast.Lambda):
+            yield self.finding(
+                module.path, node,
+                "lambda as a Process target does not pickle under the "
+                "spawn start method; pass a module-level function")
+        elif (isinstance(target, ast.Name)
+              and target.id in module.nested_functions):
+            yield self.finding(
+                module.path, node,
+                f"nested function {target.id!r} as a Process target does "
+                "not pickle under the spawn start method; hoist it to "
+                "module level")
+        elif (isinstance(target, ast.Attribute)
+              and resolve_call_name(target, module.aliases) is None):
+            yield self.finding(
+                module.path, node,
+                "bound method as a Process target pickles its whole "
+                "instance (or fails outright for non-module-level "
+                "classes); pass a module-level function taking the state "
+                "as explicit arguments")
+
+    def _check_queue_put(self, module: ModuleSource,
+                         node: ast.Call) -> Iterator[Finding]:
+        if not (isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("put", "put_nowait")):
+            return
+        for arg in node.args:
+            if isinstance(arg, ast.Lambda):
+                yield self.finding(
+                    module.path, node,
+                    "lambda placed on a queue cannot cross the process "
+                    "boundary; send a plain dataclass of arrays and "
+                    "scalars instead")
+
+    def _check_worker_state(self, module: ModuleSource) -> Iterator[Finding]:
+        for outer in ast.walk(module.tree):
+            if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for stmt in ast.walk(outer):
+                if isinstance(stmt, ast.Global):
+                    names = ", ".join(stmt.names)
+                    yield self.finding(
+                        module.path, stmt,
+                        f"worker handler mutates module-level state "
+                        f"(global {names}); a restarted incarnation "
+                        "starts from a fresh interpreter and loses it — "
+                        "keep per-shard state on the ShardRuntime")

@@ -1,0 +1,239 @@
+"""REP005: the supervisor and the worker must agree on message fields."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..engine import Finding, ModuleSource, Project, Rule, resolve_call_name
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One message class and the modules on each side of its queue."""
+
+    message: str                      # dataclass name, e.g. "ShardRequest"
+    declared_in: str                  # module_rel holding the dataclass
+    producers: tuple[str, ...]        # module_rels constructing it
+    consumers: tuple[str, ...]        # module_rels reading its attributes
+
+
+#: The PR-6 scatter/gather protocol: requests flow supervisor → worker,
+#: responses flow back.  Both sides read the classes declared in
+#: serving/worker.py, so a renamed or dropped field must fail lint on
+#: whichever side still uses the old name.
+DEFAULT_PROTOCOLS = (
+    ProtocolSpec(message="ShardRequest", declared_in="serving/worker.py",
+                 producers=("serving/supervisor.py",),
+                 consumers=("serving/worker.py", "serving/supervisor.py")),
+    ProtocolSpec(message="ShardResponse", declared_in="serving/worker.py",
+                 producers=("serving/worker.py",),
+                 consumers=("serving/supervisor.py",)),
+)
+
+#: Variables assigned from ``<queue>.get(...)`` are typed by the queue's
+#: name: a response queue mentions "resp", a request queue "req".
+_QUEUE_HINTS = (("resp", "ShardResponse"), ("req", "ShardRequest"))
+
+
+def _chain_text(node: ast.expr) -> str:
+    """Lower-cased dotted text of a Name/Attribute chain ("self._resp_queue")."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts)).lower()
+
+
+def _annotation_name(node: ast.expr | None) -> str | None:
+    """The class named by an annotation (handles string annotations and
+    `X | None` unions shallowly)."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.split("|")[0].strip().split(".")[-1] or None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _annotation_name(node.left)
+    return None
+
+
+@dataclass
+class _MessageDecl:
+    fields: dict[str, bool]           # field name -> has a default
+    methods: set[str]
+
+
+def _find_decl(module: ModuleSource, name: str) -> _MessageDecl | None:
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.ClassDef) and node.name == name):
+            continue
+        fields: dict[str, bool] = {}
+        methods: set[str] = set()
+        for stmt in node.body:
+            if (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)):
+                fields[stmt.target.id] = stmt.value is not None
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.add(stmt.name)
+        return _MessageDecl(fields=fields, methods=methods)
+    return None
+
+
+class ProtocolDriftRule(Rule):
+    id = "REP005"
+    title = "supervisor/worker message-protocol drift"
+    severity = "error"
+    contract = """\
+The scatter/gather messages (ShardRequest, ShardResponse — declared in
+serving/worker.py) are checked cross-file: every constructor call on the
+producing side must pass only declared fields and cover every field
+without a default, and every attribute read on the consuming side must
+name a declared field.  Consumer variables are recognized by annotation
+(`resp: ShardResponse`), by direct construction, or by assignment from a
+queue whose name says which side it is (`request_queue.get()` →
+ShardRequest, `_resp_queue.get()` → ShardResponse)."""
+    rationale = """\
+A renamed request field is invisible to the single-process tests and
+only surfaces as a fault drill timing out on a worker AttributeError —
+the most expensive possible way to find a typo.  The protocol is three
+dataclasses away from being self-describing, so lint can check both
+sides of the queue against the declaration and fail in seconds instead."""
+    example_bad = """\
+# supervisor.py
+request = ShardRequest(req_id=3, queries=q)        # forgot required `k`
+# worker.py
+deadline = msg.deadline                            # field nobody sends"""
+    example_good = """\
+request = ShardRequest(req_id=3, queries=q, k=5)
+indices, distances = runtime.search(msg.queries, msg.k)"""
+
+    def __init__(self,
+                 protocols: tuple[ProtocolSpec, ...] = DEFAULT_PROTOCOLS) -> None:
+        self.protocols = protocols
+
+    def finalize(self, project: Project) -> Iterator[Finding]:
+        for spec in self.protocols:
+            decl_module = project.by_module_rel(spec.declared_in)
+            if decl_module is None:
+                continue                  # scan did not cover the protocol
+            decl = _find_decl(decl_module, spec.message)
+            if decl is None:
+                yield Finding(
+                    rule=self.id, path=decl_module.path, line=1, col=0,
+                    severity=self.severity,
+                    message=f"message class {spec.message} is no longer "
+                            f"declared in {spec.declared_in}; the "
+                            "scatter/gather protocol has lost its schema")
+                continue
+            for rel in spec.producers:
+                module = project.by_module_rel(rel)
+                if module is not None:
+                    yield from self._check_producer(module, spec, decl)
+            for rel in spec.consumers:
+                module = project.by_module_rel(rel)
+                if module is not None:
+                    yield from self._check_consumer(module, spec, decl)
+
+    # -- producer side -----------------------------------------------------
+    def _check_producer(self, module: ModuleSource, spec: ProtocolSpec,
+                        decl: _MessageDecl) -> Iterator[Finding]:
+        field_order = list(decl.fields)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call_name(node.func, module.aliases)
+            is_ctor = (
+                (isinstance(node.func, ast.Name)
+                 and node.func.id == spec.message)
+                or (name is not None
+                    and name.rsplit(".", 1)[-1] == spec.message))
+            if not is_ctor:
+                continue
+            provided: set[str] = set(field_order[:len(node.args)])
+            has_splat = False
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    has_splat = True
+                    continue
+                provided.add(keyword.arg)
+                if keyword.arg not in decl.fields:
+                    yield self.finding(
+                        module.path, node,
+                        f"{spec.message}(... {keyword.arg}=...) passes a "
+                        f"field {spec.declared_in} does not declare; the "
+                        "consumer will never see it")
+            if has_splat:
+                continue                  # **kwargs: coverage unknowable
+            missing = [f for f, has_default in decl.fields.items()
+                       if not has_default and f not in provided]
+            if missing:
+                yield self.finding(
+                    module.path, node,
+                    f"{spec.message}(...) misses required field(s) "
+                    f"{', '.join(missing)}; the message would fail to "
+                    "construct at serving time")
+
+    # -- consumer side -----------------------------------------------------
+    def _check_consumer(self, module: ModuleSource, spec: ProtocolSpec,
+                        decl: _MessageDecl) -> Iterator[Finding]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            typed = self._typed_vars(func, spec)
+            if not typed:
+                continue
+            for node in ast.walk(func):
+                if not (isinstance(node, ast.Attribute)
+                        and isinstance(node.ctx, ast.Load)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id in typed):
+                    continue
+                attr = node.attr
+                if (attr in decl.fields or attr in decl.methods
+                        or attr.startswith("__")):
+                    continue
+                yield self.finding(
+                    module.path, node,
+                    f"{node.value.id}.{attr} reads a field "
+                    f"{spec.message} does not declare "
+                    f"(declared: {', '.join(decl.fields)}); the "
+                    "producer never sends it")
+
+    def _typed_vars(self, func: ast.AST, spec: ProtocolSpec) -> set[str]:
+        """Variables in ``func`` statically known to hold ``spec.message``."""
+        typed: set[str] = set()
+        args = func.args  # type: ignore[attr-defined]
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if _annotation_name(arg.annotation) == spec.message:
+                typed.add(arg.arg)
+        for node in ast.walk(func):
+            if (isinstance(node, ast.AnnAssign)
+                    and isinstance(node.target, ast.Name)
+                    and _annotation_name(node.annotation) == spec.message):
+                typed.add(node.target.id)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                value = node.value
+                if (isinstance(value, ast.Call)
+                        and isinstance(value.func, ast.Name)
+                        and value.func.id == spec.message):
+                    typed.add(target.id)
+                elif (isinstance(value, ast.Call)
+                        and isinstance(value.func, ast.Attribute)
+                        and value.func.attr in ("get", "get_nowait")):
+                    queue_text = _chain_text(value.func.value)
+                    for hint, message in _QUEUE_HINTS:
+                        if hint in queue_text:
+                            if message == spec.message:
+                                typed.add(target.id)
+                            break
+        return typed

@@ -22,6 +22,10 @@ Wires the library's offline/online workflow into five commands:
 ``experiment``
     Re-run one of the paper's evaluation-section experiments and print its
     table.
+``check``
+    Run the repo's static-analysis rules (determinism, dtype-tier and
+    fork-safety contracts) over the source tree — see
+    ``docs/static_analysis.md``.
 
 Every command is importable and unit-testable (:func:`main` takes argv).
 """
@@ -279,7 +283,9 @@ def _serve_requests(args: argparse.Namespace, advisor: AutoCE,
     def serve(paths: list[str]) -> None:
         nonlocal served, degraded
         datasets = [load_dataset(path) for path in paths]
-        start = time.perf_counter()
+        # The serve report's latency percentiles are the one place the CLI
+        # legitimately reads the clock.
+        start = time.perf_counter()  # repro: allow[REP002]
         if server is not None:
             recs = server.recommend_batch(datasets,
                                           accuracy_weight=args.weight,
@@ -288,7 +294,7 @@ def _serve_requests(args: argparse.Namespace, advisor: AutoCE,
             recs = advisor.recommend_batch(datasets,
                                            accuracy_weight=args.weight,
                                            k=args.k)
-        latencies.append(time.perf_counter() - start)
+        latencies.append(time.perf_counter() - start)  # repro: allow[REP002]
         for dataset, rec in zip(datasets, recs):
             line = f"  {dataset.name:<24} -> {rec.model}"
             if getattr(rec, "degraded", False):
@@ -458,6 +464,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("models", help="list the registered CE models")
     p.set_defaults(func=cmd_models)
+
+    from .analysis.cli import add_check_parser
+    add_check_parser(sub)
 
     return parser
 

@@ -63,6 +63,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field, replace
 
 import numpy as np
+from numpy.typing import DTypeLike
 
 from ..db.schema import Dataset
 from ..testbed.scores import ScoreLabel
@@ -131,7 +132,7 @@ class AutoCEConfig:
 class AutoCE:
     """The learned CE-model advisor (offline training, online prediction)."""
 
-    def __init__(self, config: AutoCEConfig | None = None):
+    def __init__(self, config: AutoCEConfig | None = None) -> None:
         self.config = config or AutoCEConfig()
         self.encoder: GINEncoder | None = None
         self.trainer: DMLTrainer | None = None
@@ -304,7 +305,7 @@ class AutoCE:
         tier mode is on, the training ``config.dtype`` otherwise."""
         return np.dtype(self.config.serving_dtype or self.config.dtype)
 
-    def set_dtype(self, dtype) -> "AutoCE":
+    def set_dtype(self, dtype: DTypeLike) -> "AutoCE":
         """Switch the advisor's *full* precision tier (e.g. ``"float32"``).
 
         On a fitted advisor this casts the encoder weights in place,
@@ -342,7 +343,7 @@ class AutoCE:
                 self._rebuild_rcs()
         return self
 
-    def set_serving_dtype(self, dtype) -> "AutoCE":
+    def set_serving_dtype(self, dtype: DTypeLike) -> "AutoCE":
         """Enter (or leave) the mixed-tier serving mode.
 
         ``dtype`` of ``None`` serves at the training tier again; "float32"

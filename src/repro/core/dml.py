@@ -77,7 +77,7 @@ class DMLConfig:
 class DMLTrainer:
     """Runs Algorithm 1 over a labeled corpus of feature graphs."""
 
-    def __init__(self, encoder: GINEncoder, config: DMLConfig | None = None):
+    def __init__(self, encoder: GINEncoder, config: DMLConfig | None = None) -> None:
         self.encoder = encoder
         self.config = config or DMLConfig()
         if self.config.loss not in ("weighted", "basic"):

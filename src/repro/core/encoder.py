@@ -13,6 +13,7 @@ sum pooling explicitly).
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import DTypeLike
 
 from .. import nn
 from ..nn.autograd import Tensor
@@ -34,7 +35,8 @@ def gin_combine(h: nn.Tensor, adjacency: np.ndarray,
     data = eps * h.data + adjacency @ h.data
     h_data = h.data
 
-    def backward(grad):
+    def backward(grad: np.ndarray
+                 ) -> list[tuple[nn.Tensor, np.ndarray]]:
         out = []
         if h.requires_grad:
             out.append((h, eps * grad + adjacency @ grad))
@@ -49,7 +51,8 @@ def masked_sum_pool(h: nn.Tensor, mask: np.ndarray) -> nn.Tensor:
     """Fused masked sum pooling ``Σ_i mask_i · h_i`` over the vertex axis."""
     data = (h.data * mask[:, :, None]).sum(axis=1)
 
-    def backward(grad):
+    def backward(grad: np.ndarray
+                 ) -> tuple[tuple[nn.Tensor, np.ndarray], ...]:
         return ((h, grad[:, None, :] * mask[:, :, None]),)
 
     return Tensor._make(data, (h,), backward)
@@ -58,7 +61,8 @@ def masked_sum_pool(h: nn.Tensor, mask: np.ndarray) -> nn.Tensor:
 class GINLayer(nn.Module):
     """One GINConv layer with learnable ε and a 2-layer MLP as f_θ."""
 
-    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator):
+    def __init__(self, in_dim: int, out_dim: int,
+                 rng: np.random.Generator) -> None:
         super().__init__()
         self.epsilon = nn.Tensor(np.zeros(1), requires_grad=True)
         # output_activation="relu" lets the MLP fuse the layer's final ReLU
@@ -90,7 +94,7 @@ class GINEncoder(nn.Module):
     def __init__(self, vertex_dim: int, hidden_dim: int = 64,
                  embedding_dim: int = 32, num_layers: int = 2,
                  seed: int | np.random.Generator = 0,
-                 dtype=np.float64):
+                 dtype: DTypeLike = np.float64) -> None:
         super().__init__()
         rng = rng_from_seed(seed)
         self.vertex_dim = vertex_dim
@@ -104,7 +108,7 @@ class GINEncoder(nn.Module):
         self.dtype = np.dtype(np.float64)
         self.to(dtype)
 
-    def to(self, dtype) -> "GINEncoder":
+    def to(self, dtype: DTypeLike) -> "GINEncoder":
         super().to(dtype)
         object.__setattr__(self, "dtype", np.dtype(dtype))
         return self

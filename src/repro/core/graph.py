@@ -18,6 +18,7 @@ import hashlib
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import DTypeLike
 
 from ..db.schema import Dataset
 from .features import (join_correlation_matrix, table_feature_vector,
@@ -35,7 +36,7 @@ class FeatureGraph:
     vertices: np.ndarray  # [n, d]
     edges: np.ndarray     # [n, n]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.vertices = np.asarray(self.vertices, dtype=np.float64)
         self.edges = np.asarray(self.edges, dtype=np.float64)
         if self.vertices.ndim != 2:
@@ -124,7 +125,8 @@ def build_feature_graph_reference(dataset: Dataset,
     return FeatureGraph(dataset.name, vertices, edges)
 
 
-def batch_graphs(graphs: list[FeatureGraph], dtype=np.float64):
+def batch_graphs(graphs: list[FeatureGraph], dtype: DTypeLike = np.float64
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Pad a list of graphs to tensors [B, n, d], [B, n, n], mask [B, n].
 
     ``dtype`` selects the precision tier of the batch tensors: feature
@@ -163,7 +165,8 @@ class GraphTensorBatcher:
     :class:`~repro.core.dml.DMLTrainer`).
     """
 
-    def __init__(self, graphs: list[FeatureGraph], dtype=np.float64):
+    def __init__(self, graphs: list[FeatureGraph],
+                 dtype: DTypeLike = np.float64) -> None:
         vertices, edges, mask = batch_graphs(graphs, dtype=dtype)
         self.dtype = np.dtype(dtype)
         self.vertices = vertices
@@ -173,6 +176,7 @@ class GraphTensorBatcher:
     def __len__(self) -> int:
         return len(self.vertices)
 
-    def slice(self, idx: np.ndarray):
+    def slice(self, idx: np.ndarray
+              ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Batch tensors (vertices, adjacency, mask) for the given indices."""
         return self.vertices[idx], self.adjacency[idx], self.mask[idx]

@@ -19,6 +19,7 @@ import numpy as np
 from ..testbed.scores import ScoreLabel
 from ..utils.rng import rng_from_seed
 from .dml import DMLTrainer
+from .encoder import GINEncoder
 from .graph import FeatureGraph
 from .predictor import (KNNPredictor, RecommendationCandidateSet,
                         squared_distance_matrix)
@@ -55,7 +56,7 @@ class AugmentationResult:
         return len(self.new_graphs)
 
 
-def collect_feedback(encoder, graphs: list[FeatureGraph],
+def collect_feedback(encoder: GINEncoder, graphs: list[FeatureGraph],
                      labels: list[ScoreLabel],
                      config: IncrementalConfig) -> tuple[list[int], list[int]]:
     """Steps 3–12 of Algorithm 2: cross-validated feedback collection."""
@@ -87,7 +88,7 @@ def collect_feedback(encoder, graphs: list[FeatureGraph],
     return sorted(feedback), sorted(reference)
 
 
-def augment_with_mixup(encoder, graphs: list[FeatureGraph],
+def augment_with_mixup(encoder: GINEncoder, graphs: list[FeatureGraph],
                        labels: list[ScoreLabel],
                        feedback: list[int], reference: list[int],
                        config: IncrementalConfig) -> AugmentationResult:

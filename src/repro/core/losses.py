@@ -41,7 +41,8 @@ def cosine_similarity_matrix(labels: np.ndarray) -> np.ndarray:
     return np.clip(sims, -1.0, 1.0)
 
 
-def positive_negative_masks(similarities: np.ndarray, tau: float):
+def positive_negative_masks(similarities: np.ndarray, tau: float
+                            ) -> tuple[np.ndarray, np.ndarray]:
     """Eq. 7: split pairs into positive (Sim ≥ τ) and negative sets.
 
     The diagonal (self pairs) is excluded from both sets.
@@ -69,7 +70,8 @@ def pairwise_distances(embeddings: nn.Tensor) -> nn.Tensor:
     dist_sq = dist_sq * positive_mask
     distances = np.sqrt(dist_sq + 1e-12)
 
-    def backward(grad):
+    def backward(grad: np.ndarray
+                 ) -> tuple[tuple[nn.Tensor, np.ndarray], ...]:
         # dL/dK for K = clipped squared distances (chain through sqrt+clip),
         # then grad_E = 2·(rowsum(S)·E − S@E) with S = Q + Qᵀ.
         q = grad * (0.5 / distances) * positive_mask
@@ -130,7 +132,8 @@ def weighted_contrastive_loss(embeddings: nn.Tensor, similarities: np.ndarray,
     has_neg = negative.any(axis=1).astype(e.dtype)
     loss = (pos_term * has_pos + neg_term * has_neg).sum() / m
 
-    def backward(grad):
+    def backward(grad: np.ndarray
+                 ) -> tuple[tuple[nn.Tensor, np.ndarray], ...]:
         # ∂L/∂U_ij = (w⁺_ij − w⁻_ij) / m per anchor row (Eqs. 11–12) ...
         grad_u = (grad / m) * (has_pos[:, None] * pos_softmax
                                - has_neg[:, None] * neg_softmax)

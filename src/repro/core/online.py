@@ -54,7 +54,7 @@ class OnlineAdapter:
     """Applies the three-step online adaptation of Sec. V-E."""
 
     def __init__(self, trainer: DMLTrainer, detector: DriftDetector | None = None,
-                 update_epochs: int = 5):
+                 update_epochs: int = 5) -> None:
         self.trainer = trainer
         self.detector = detector or DriftDetector()
         self.update_epochs = update_epochs

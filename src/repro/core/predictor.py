@@ -219,7 +219,7 @@ class QuantizationConfig:
     #: fold onto the range boundary and alias with every other boundary row).
     drift_outlier_factor: float = 2.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         # Fail at configuration time, not from deep inside the RCS attach.
         if self.mode not in ("auto", "int8", "pq"):
             raise ValueError(
@@ -326,7 +326,7 @@ class QuantizedStore:
     kind = "int8"
 
     def __init__(self, embeddings: np.ndarray,
-                 config: QuantizationConfig | None = None):
+                 config: QuantizationConfig | None = None) -> None:
         self.config = config or QuantizationConfig()
         self.scale = 1.0
         self.zero_point: np.ndarray | None = None   # [d] float64
@@ -356,7 +356,7 @@ class QuantizedStore:
             lo = embeddings.min(axis=0).astype(np.float64)
             hi = embeddings.max(axis=0).astype(np.float64)
         else:
-            lo = hi = np.zeros(dim)
+            lo = hi = np.zeros(dim, dtype=np.float64)
         self.zero_point = (lo + hi) / 2.0
         # Symmetric shared scale over the widest dimension; the floor keeps
         # a constant (or single-member, or empty) corpus at all-zero codes
@@ -455,12 +455,14 @@ class QuantizedStore:
         return self._codes_float
 
     # -- the LSH-pool hooks ----------------------------------------------
-    def query_context(self, queries: np.ndarray):
+    def query_context(self, queries: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray]:
         """Per-batch query state shared by every pool/scan distance call."""
         qcodes = self.quantize(queries).astype(self._gemm_dtype)
         return qcodes, (qcodes * qcodes).sum(axis=1)
 
-    def pool_distances(self, context, rows: np.ndarray,
+    def pool_distances(self, context: tuple[np.ndarray, np.ndarray],
+                       rows: np.ndarray,
                        members: np.ndarray) -> np.ndarray:
         """[R, W] code-space distances of padded candidate pools.
 
@@ -597,7 +599,7 @@ class PQStore:
     kind = "pq"
 
     def __init__(self, embeddings: np.ndarray,
-                 config: QuantizationConfig | None = None):
+                 config: QuantizationConfig | None = None) -> None:
         self.config = config or QuantizationConfig()
         self._splits: list[slice] = []
         self._codebooks: list[np.ndarray] = []           # M × [K, d_m]
@@ -676,7 +678,8 @@ class PQStore:
         self._codebooks = [
             seeded_kmeans(train[:, sl], self._codebook_k, rng,
                           config.kmeans_iters)
-            if len(train) else np.zeros((1, sl.stop - sl.start))
+            if len(train) else np.zeros((1, sl.stop - sl.start),
+                                        dtype=np.float64)
             for sl in self._splits
         ]
         self._codebook_k = len(self._codebooks[0])
@@ -1191,7 +1194,7 @@ class ANNConfig:
     e2lsh: E2LSHConfig = field(default_factory=E2LSHConfig)
     seed: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         # Fail at configuration time, not from deep inside an online add
         # when the RCS first crosses the attachment threshold.
         if self.family not in ("auto", "sign", "e2lsh", "exact"):
@@ -1220,7 +1223,7 @@ class _BucketedLSHIndex:
     a corpus the hash family cannot bucket usefully.
     """
 
-    def __init__(self, config):
+    def __init__(self, config: ANNConfig | E2LSHConfig) -> None:
         self.config = config
         if config.num_tables < 1:
             raise ValueError("num_tables must be positive")
@@ -1429,7 +1432,11 @@ class _BucketedLSHIndex:
     def _rerank(self, rows: np.ndarray, member: np.ndarray, pool: np.ndarray,
                 offsets: np.ndarray, queries: np.ndarray,
                 query_norms: np.ndarray, embeddings: np.ndarray,
-                k: int, pool_codes=None) -> tuple[np.ndarray, np.ndarray]:
+                k: int,
+                pool_codes: tuple[QuantizedStore,
+                                  tuple[np.ndarray, np.ndarray],
+                                  int] | None = None
+                ) -> tuple[np.ndarray, np.ndarray]:
         """Exact re-rank of the candidate pools of the ``rows`` queries.
 
         The pools are padded to the subset's maximum width and the dot
@@ -1469,7 +1476,9 @@ class _BucketedLSHIndex:
                 np.sqrt(np.take_along_axis(padded, local, axis=1)))
 
     @staticmethod
-    def _narrow_pools(pool_codes, rows: np.ndarray, members: np.ndarray,
+    def _narrow_pools(pool_codes: tuple[QuantizedStore,
+                                        tuple[np.ndarray, np.ndarray], int],
+                      rows: np.ndarray, members: np.ndarray,
                       counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Code-space narrowing of wide padded re-rank pools.
 
@@ -1576,7 +1585,7 @@ class ANNIndex(_BucketedLSHIndex):
     whose length it does not recognize.
     """
 
-    def __init__(self, config: ANNConfig | None = None):
+    def __init__(self, config: ANNConfig | None = None) -> None:
         super().__init__(config or ANNConfig())
         self._projection: np.ndarray | None = None  # [d, L·b], whitening folded in
         self._center: np.ndarray | None = None      # [d]
@@ -1596,7 +1605,7 @@ class ANNIndex(_BucketedLSHIndex):
         rng = np.random.default_rng(config.seed)
         hyperplanes = rng.standard_normal((config.num_tables * bits, dim))
         center = (embeddings.mean(axis=0, dtype=np.float64) if n
-                  else np.zeros(dim))
+                  else np.zeros(dim, dtype=np.float64))
         # The whitening transform composes with the hyperplanes into one
         # [d, L·b] projection, so equalizing the embedding cloud costs
         # nothing per query; hashing then runs on the corpus' precision
@@ -1660,7 +1669,7 @@ class E2LSHIndex(_BucketedLSHIndex):
     #: steps (m choose 2 extra probe candidates per table).
     _PAIR_POOL = 6
 
-    def __init__(self, config: E2LSHConfig | None = None):
+    def __init__(self, config: E2LSHConfig | None = None) -> None:
         super().__init__(config or E2LSHConfig())
         self._projection: np.ndarray | None = None  # [d, L·b]
         self._offsets: np.ndarray | None = None     # [L·b]
@@ -1711,11 +1720,12 @@ class E2LSHIndex(_BucketedLSHIndex):
         config = self.config
         num_tables = config.num_tables
         if config.radius > 0:
-            return np.full(num_tables, float(config.radius))
+            return np.full(num_tables, float(config.radius),
+                           dtype=np.float64)
         n = len(embeddings)
         sample = min(config.calibration_sample, n)
         if sample < 2:
-            return np.ones(num_tables)
+            return np.ones(num_tables, dtype=np.float64)
         idx = rng.choice(n, size=sample, replace=False)
         k = min(config.calibration_k + 1, n)   # +1: the member finds itself
         _, dists = exact_search(embeddings[idx], embeddings, k)
@@ -1724,7 +1734,7 @@ class E2LSHIndex(_BucketedLSHIndex):
             # Degenerate corpus (duplicates everywhere): any radius maps it
             # to one bucket per table and the dense-pool fallback serves it
             # exactly.
-            return np.ones(num_tables)
+            return np.ones(num_tables, dtype=np.float64)
         percentiles = 100.0 * (np.arange(num_tables) + 0.5) / num_tables
         rungs = config.radius_scale * np.percentile(
             np.asarray(scales, dtype=np.float64), percentiles)
@@ -1877,15 +1887,16 @@ class RecommendationCandidateSet:
     def __init__(self, embeddings: np.ndarray | None = None,
                  labels: list[ScoreLabel] | None = None,
                  ann: ANNConfig | None = None,
-                 quantization: QuantizationConfig | None = None):
+                 quantization: QuantizationConfig | None = None) -> None:
         # The buffer keeps the embeddings' precision tier: a float32 corpus
         # (the serving fast tier) is stored and searched in float32.
-        embeddings = (np.zeros((0, 0)) if embeddings is None
+        embeddings = (np.zeros((0, 0), dtype=np.float64)
+                      if embeddings is None
                       else _as_float_matrix(embeddings))
         self.labels: list[ScoreLabel] = list(labels or [])
         if len(embeddings) != len(self.labels):
             raise ValueError("embeddings and labels must align")
-        self._buffer = np.array(embeddings)
+        self._buffer = np.array(embeddings, dtype=embeddings.dtype)
         self._size = len(embeddings)
         self._score_cache: dict[float, np.ndarray] = {}
         self.ann_config = ann
@@ -2019,7 +2030,7 @@ class RecommendationCandidateSet:
         require_finite_embeddings(embeddings, "RCS embeddings")
         if len(embeddings) != len(self.labels):
             raise ValueError("embedding count must match labels")
-        self._buffer = np.array(embeddings)
+        self._buffer = np.array(embeddings, dtype=embeddings.dtype)
         self._size = len(embeddings)
         self._score_cache.clear()
         if self._index is not None:
@@ -2059,7 +2070,7 @@ class RecommendationCandidateSet:
     def nearest_neighbor_distances(self) -> np.ndarray:
         """Distance of each member to its nearest other member."""
         if len(self) < 2:
-            return np.zeros(len(self))
+            return np.zeros(len(self), dtype=self._buffer.dtype)
         sq = squared_distance_matrix(self.embeddings, self.embeddings)
         np.fill_diagonal(sq, np.inf)
         return np.sqrt(sq.min(axis=1))
@@ -2074,7 +2085,7 @@ class KNNPredictor:
     has selected (exact below the ANN threshold, LSH above it).
     """
 
-    def __init__(self, k: int = 2):
+    def __init__(self, k: int = 2) -> None:
         if k < 1:
             raise ValueError("k must be positive")
         self.k = k

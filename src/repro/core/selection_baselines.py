@@ -49,7 +49,7 @@ class MLPSelector(SelectionBaseline):
 
     def __init__(self, hidden_dim: int = 64, embedding_dim: int = 32,
                  epochs: int = 60, batch_size: int = 32, lr: float = 2e-3,
-                 seed: int = 0):
+                 seed: int = 0) -> None:
         self.hidden_dim = hidden_dim
         self.embedding_dim = embedding_dim
         self.epochs = epochs
@@ -121,7 +121,7 @@ class RegressionSelector(SelectionBaseline):
 
     def __init__(self, hidden_dim: int = 64, embedding_dim: int = 32,
                  epochs: int = 60, batch_size: int = 32, lr: float = 2e-3,
-                 seed: int = 0):
+                 seed: int = 0) -> None:
         self.hidden_dim = hidden_dim
         self.embedding_dim = embedding_dim
         self.epochs = epochs
@@ -184,7 +184,7 @@ class RuleSelector(SelectionBaseline):
 
     name = "Rule"
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self._rng = rng_from_seed(seed)
         self.model_names: tuple[str, ...] = tuple(CANDIDATE_MODELS)
 
@@ -203,7 +203,7 @@ class RawFeatureKnnSelector(SelectionBaseline):
 
     name = "Knn"
 
-    def __init__(self, k: int = 2):
+    def __init__(self, k: int = 2) -> None:
         self.k = k
         self._features: np.ndarray | None = None
         self._labels: list[ScoreLabel] = []
@@ -251,7 +251,7 @@ class SamplingSelector(SelectionBaseline):
 
     name = "Sampling"
 
-    def __init__(self, config: OnlineSelectorConfig | None = None):
+    def __init__(self, config: OnlineSelectorConfig | None = None) -> None:
         self.config = config or OnlineSelectorConfig()
         self._label_cache: dict[str, ScoreLabel] = {}
 
@@ -278,7 +278,7 @@ class LearningAllSelector(SelectionBaseline):
 
     name = "Learning-All"
 
-    def __init__(self, config: OnlineSelectorConfig | None = None):
+    def __init__(self, config: OnlineSelectorConfig | None = None) -> None:
         self.config = config or OnlineSelectorConfig()
         self._label_cache: dict[str, ScoreLabel] = {}
 

@@ -102,7 +102,7 @@ class TierBreaker:
     demotions: int = 0
     promotions: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.ladder:
             raise ValueError("tier ladder must name at least one tier")
 

@@ -24,9 +24,9 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..core.predictor import (ANNConfig, INT8_EXACT_MAX_DIM,
-                              QuantizationConfig, candidate_scan,
-                              exact_search, select_neighbor_index,
-                              select_quantizer)
+                              CandidateStore, QuantizationConfig,
+                              candidate_scan, exact_search,
+                              select_neighbor_index, select_quantizer)
 from .breaker import BreakerConfig, ShardHealth, TierBreaker
 
 #: The full tier-degradation ladder, best tier first.  Each shard serves
@@ -62,7 +62,8 @@ def merge_top_k(indices_parts: list[np.ndarray],
     parts_d = [np.atleast_2d(p) for p in distances_parts if p is not None]
     if not parts_i or sum(p.shape[1] for p in parts_i) == 0:
         q = parts_i[0].shape[0] if parts_i else 0
-        return (np.empty((q, 0), dtype=np.int64), np.empty((q, 0)))
+        return (np.empty((q, 0), dtype=np.int64),
+                np.empty((q, 0), dtype=np.float64))
     idx = np.concatenate(parts_i, axis=1)
     dist = np.concatenate(parts_d, axis=1)
     k = min(k, idx.shape[1])
@@ -121,7 +122,7 @@ class ShardRuntime:
     re-promoted to.
     """
 
-    def __init__(self, spec: ShardSpec):
+    def __init__(self, spec: ShardSpec) -> None:
         self.spec = spec
         self.shard_id = spec.shard_id
         self.global_ids = np.asarray(spec.global_ids, dtype=np.int64)
@@ -131,7 +132,7 @@ class ShardRuntime:
         n, dim = self.embeddings.shape
         self.ladder = tier_ladder(dim if n else 0, spec.quantization)
         self.breaker = TierBreaker(self.ladder, spec.breaker)
-        self._stores: dict[str, object] = {}
+        self._stores: dict[str, CandidateStore] = {}
         self._index = None
         ann = spec.ann
         if (ann is not None and ann.threshold > 0 and n >= ann.threshold):
@@ -144,7 +145,7 @@ class ShardRuntime:
         return len(self.global_ids)
 
     # -- tiers ------------------------------------------------------------
-    def _store_for(self, tier: str):
+    def _store_for(self, tier: str) -> CandidateStore | None:
         """The cached candidate store of a ladder rung (None = exact)."""
         if tier == "exact" or len(self) == 0:
             return None
@@ -191,7 +192,7 @@ class ShardRuntime:
         queries = np.atleast_2d(np.asarray(queries))
         n = len(self)
         if n == 0 or k <= 0:
-            empty = np.empty((len(queries), 0))
+            empty = np.empty((len(queries), 0), dtype=np.float64)
             return empty.astype(np.int64), empty
         self.requests_served += 1
         tier = self.breaker.tier
@@ -215,7 +216,8 @@ class ShardRuntime:
         self.breaker.observe(health)
         return self.global_ids[local], dist
 
-    def _maybe_probe(self, tier: str, store) -> float | None:
+    def _maybe_probe(self, tier: str,
+                     store: CandidateStore | None) -> float | None:
         """Recall@k of the current tier vs the exact scan, on schedule.
 
         Replays a seeded sample of the shard's own members.  Scan-shaped

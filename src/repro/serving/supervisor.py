@@ -36,11 +36,18 @@ import multiprocessing as mp
 
 import numpy as np
 
-from ..core.predictor import Recommendation
+from typing import TYPE_CHECKING, Any
+
+from ..core.predictor import ANNConfig, QuantizationConfig, Recommendation
 from ..testbed.faults import FaultPlan
 from .breaker import BreakerConfig
 from .sharding import ShardSpec, merge_top_k, partition_members, tier_ladder
 from .worker import ShardRequest, ShardResponse, shard_worker_main
+
+if TYPE_CHECKING:
+    from ..core.advisor import AutoCE
+    from ..core.graph import FeatureGraph
+    from ..db.schema import Dataset
 
 #: Response-queue poll granularity while gathering (seconds).
 _POLL = 0.01
@@ -107,14 +114,15 @@ class ShardedServer:
 
     def __init__(self, embeddings: np.ndarray, *, num_shards: int = 2,
                  deadline: float | None = None,
-                 ann=None, quantization=None,
+                 ann: ANNConfig | None = None,
+                 quantization: QuantizationConfig | None = None,
                  breaker: BreakerConfig | None = None,
                  retry: RetryPolicy | None = None,
                  fault_plan: FaultPlan | None = None,
                  probe_every: int = 16,
                  heartbeat_timeout: float = 30.0,
                  seed: int = 0,
-                 start_method: str = "fork"):
+                 start_method: str = "fork") -> None:
         embeddings = np.atleast_2d(np.asarray(embeddings))
         if len(embeddings) == 0:
             raise ValueError("cannot shard an empty RCS")
@@ -152,7 +160,8 @@ class ShardedServer:
             self._spawn(s)
 
     @classmethod
-    def from_advisor(cls, advisor, **kwargs) -> "ShardedServer":
+    def from_advisor(cls, advisor: AutoCE,
+                     **kwargs: Any) -> "ShardedServer":
         """Shard a fitted advisor's RCS, inheriting its index/quantizer
         configs unless overridden."""
         rcs = advisor.rcs
@@ -160,7 +169,10 @@ class ShardedServer:
             raise ValueError("advisor has no fitted RCS to shard")
         kwargs.setdefault("ann", rcs.ann_config)
         kwargs.setdefault("quantization", rcs.quantization)
-        server = cls(np.array(rcs.embeddings), **kwargs)
+        rcs_embeddings = rcs.embeddings
+        # Tier-preserving copy: the shards serve at the RCS serving dtype.
+        server = cls(np.array(rcs_embeddings, dtype=rcs_embeddings.dtype),
+                     **kwargs)
         server._advisor = advisor
         return server
 
@@ -231,7 +243,7 @@ class ShardedServer:
     def __enter__(self) -> "ShardedServer":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.stop()
 
     # -- serving -----------------------------------------------------------
@@ -361,7 +373,8 @@ class ShardedServer:
             latency=time.monotonic() - start,
         )
 
-    def recommend_batch(self, datasets, accuracy_weight: float = 1.0,
+    def recommend_batch(self, datasets: list[Dataset] | list[FeatureGraph],
+                        accuracy_weight: float = 1.0,
                         k: int | None = None,
                         deadline: float | None = None
                         ) -> list[ShardedRecommendation]:

@@ -19,12 +19,17 @@ import os
 import time
 import traceback
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..testbed.faults import FaultPlan
 from .breaker import ShardHealth
 from .sharding import ShardRuntime, ShardSpec
+
+if TYPE_CHECKING:
+    import multiprocessing as mp
+    from multiprocessing.sharedctypes import Synchronized
 
 
 @dataclass
@@ -54,7 +59,9 @@ class ShardResponse:
 
 
 def shard_worker_main(spec: ShardSpec, plan: FaultPlan, incarnation: int,
-                      request_queue, response_queue, heartbeat) -> None:
+                      request_queue: "mp.Queue[ShardRequest]",
+                      response_queue: "mp.Queue[ShardResponse]",
+                      heartbeat: "Synchronized[float]") -> None:
     """Entry point of a shard worker process.
 
     ``heartbeat`` is a shared ``multiprocessing.Value('d')`` the worker

@@ -1,0 +1,16 @@
+"""Known-bad REP004 fixture: unpicklable process targets and payloads."""
+
+import multiprocessing as mp
+
+
+def serve(shard: int) -> None:
+    pass
+
+
+def spawn_all(queue: "mp.Queue[object]") -> None:
+    def local_worker() -> None:
+        pass
+
+    mp.Process(target=lambda: serve(0)).start()    # line 14: lambda target
+    mp.Process(target=local_worker).start()        # line 15: nested function
+    queue.put(lambda: serve(1))                    # line 16: lambda payload

@@ -1,0 +1,11 @@
+"""Known-bad REP001 fixture.  Line numbers are asserted by the tests —
+keep the offending calls exactly where they are (or update the tests)."""
+
+import random
+
+import numpy as np
+
+rng = np.random.default_rng()                  # line 8: unseeded default_rng
+entropy = np.random.SeedSequence()             # line 9: unseeded SeedSequence
+noise = np.random.standard_normal(8)           # line 10: hidden global state
+jitter = random.random()                       # line 11: stdlib random

@@ -1,0 +1,12 @@
+"""Known-bad REP002 fixture (not an allowlisted timing module)."""
+
+import time
+from datetime import datetime
+
+
+def stamp_cache_entry(key: str) -> tuple[str, float]:
+    return key, time.time()                    # line 8: wall-clock read
+
+
+def label_run() -> str:
+    return datetime.now().isoformat()          # line 12: datetime.now

@@ -1,0 +1,18 @@
+"""Known-good REP004 fixture: module-level target, dataclass payloads."""
+
+import multiprocessing as mp
+from dataclasses import dataclass
+
+
+@dataclass
+class Message:
+    req_id: int
+
+
+def worker_main(req_id: int) -> None:
+    pass
+
+
+def spawn(queue: "mp.Queue[Message]") -> None:
+    mp.Process(target=worker_main, args=(3,)).start()
+    queue.put(Message(req_id=3))

@@ -1,0 +1,8 @@
+"""Known-good REP001 fixture: every draw flows from an explicit seed."""
+
+import numpy as np
+
+rng = np.random.default_rng(7)
+child = np.random.default_rng(np.random.SeedSequence(1234))
+noise = rng.standard_normal(8)
+pick = rng.integers(0, 10)

@@ -1,0 +1,8 @@
+"""Pragma fixture: the same violations as bad_rng, each suppressed."""
+
+import numpy as np
+
+rng = np.random.default_rng()      # repro: allow[REP001]
+noise = np.random.standard_normal(8)  # repro: allow[REP001, REP002]
+star = np.random.standard_normal(4)   # repro: allow[*]
+unsuppressed = np.random.default_rng()   # line 8: pragma-free, still fires
