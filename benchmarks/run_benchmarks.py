@@ -32,7 +32,15 @@ three advisor stages the perf PR targets:
   (d = 512) 8192-member synthetic RCS, past the flat-int8 exactness bound:
   exact float32 scan vs the ``PQStore`` ADC candidate pass (per-subspace
   codebooks, per-batch lookup tables, top ``k·overfetch`` kept, float
-  re-rank), with recall@k for the plain and residual-refined codebooks.
+  re-rank), with recall@k for the plain and residual-refined codebooks;
+* ``ivf_search``        — the IVF coarse partition vs the full-corpus
+  quantized scans: flat int8 (d = 32 GIN embeddings) and flat PQ (d = 512
+  wide corpus) vs the same stores behind an ``IVFStore`` probing
+  ``nprobe`` of ~sqrt(N) seeded-k-means cells, recall@k vs exact;
+* ``restart_warm``      — ``load_advisor`` with persisted quantizer state
+  (format v2) vs the retrain-on-attach path, at 1024 and 8192 members:
+  the warm load must stay flat as the corpus grows 8× and run zero
+  k-means calls, answering byte-identically to the saving node.
 
 Writes a machine-readable ``results/BENCH_micro.json`` so future PRs can
 track the perf trajectory, and prints a human-readable table.
@@ -590,6 +598,171 @@ def bench_persistent_cache(repeats: int, tmp_root: Path | None = None) -> dict:
         shutil.rmtree(workdir, ignore_errors=True)
 
 
+def bench_ivf_search(repeats: int, rcs_size: int = 8192,
+                     num_queries: int = 512, k: int = 5) -> dict:
+    """The IVF coarse partition vs the full-corpus quantized scans.
+
+    Two workloads, one per flat tier: GIN family embeddings at d = 32
+    (the int8 regime) and the wide d = 512 synthetic family corpus (the
+    PQ regime).  "Before" is the flat store scanning all N members in
+    code space; "after" is the same store behind an :class:`IVFStore`
+    probing ``nprobe`` of ~sqrt(N) coarse cells.  Both sides share the
+    float re-rank, so the delta is purely the scan-set reduction; recall
+    is measured against ``exact_search`` on the same queries.
+    """
+    from repro.core.ivf import IVFStore
+    from repro.core.predictor import (PQStore, QuantizationConfig,
+                                      QuantizedStore, exact_search)
+
+    graphs, _ = family_corpus(rcs_size + num_queries, seed=0)
+    encoder = GINEncoder(graphs[0].vertex_dim, hidden_dim=64,
+                         embedding_dim=32, seed=0)
+    embeddings = encoder.embed(graphs).astype(np.float32)
+    members, queries = embeddings[:rcs_size], embeddings[rcs_size:]
+
+    config = QuantizationConfig(enabled=True, ivf=True, ivf_min_size=8)
+    flat = QuantizedStore(members, config)
+    ivf = IVFStore(members, config, store=QuantizedStore(members, config))
+    flat.search(queries, members, k)            # warm both code paths
+    ivf.search(queries, members, k)
+    before, after = interleaved_best(
+        lambda: flat.search(queries, members, k),
+        lambda: ivf.search(queries, members, k), repeats)
+
+    exact_idx, _ = exact_search(queries, members, k)
+    ivf_idx, _ = ivf.search(queries, members, k)
+    recall = float(np.mean([
+        len(set(a) & set(e)) / k for a, e in zip(ivf_idx, exact_idx)]))
+
+    wide = wide_family_embeddings(rcs_size + num_queries, dim=512, seed=0)
+    wide_members, wide_queries = wide[:rcs_size], wide[rcs_size:]
+    pq_flat = PQStore(wide_members, config)
+    pq_ivf = IVFStore(wide_members, config,
+                      store=PQStore(wide_members, config))
+    pq_flat.search(wide_queries, wide_members, k)
+    pq_ivf.search(wide_queries, wide_members, k)
+    pq_before, pq_after = interleaved_best(
+        lambda: pq_flat.search(wide_queries, wide_members, k),
+        lambda: pq_ivf.search(wide_queries, wide_members, k), repeats)
+    wide_exact_idx, _ = exact_search(wide_queries, wide_members, k)
+    pq_ivf_idx, _ = pq_ivf.search(wide_queries, wide_members, k)
+    pq_recall = float(np.mean([
+        len(set(a) & set(e)) / k
+        for a, e in zip(pq_ivf_idx, wide_exact_idx)]))
+
+    return {"rcs_size": rcs_size, "queries": num_queries, "k": k,
+            "cells": ivf.num_cells, "nprobe": config.nprobe,
+            "recall_at_k": recall, "before_s": before, "after_s": after,
+            "speedup": before / after,
+            "pq_dim": 512, "pq_cells": pq_ivf.num_cells,
+            "pq_recall_at_k": pq_recall, "pq_before_s": pq_before,
+            "pq_after_s": pq_after, "pq_speedup": pq_before / pq_after}
+
+
+def bench_restart_warm(repeats: int, tmp_root: Path | None = None) -> dict:
+    """``load_advisor`` cost as the corpus grows 8×: retrain vs warm attach.
+
+    Builds serving-shaped advisors (real encoder weights, synthetic wide
+    RCS rows — no training loop, so the measured cost is purely the load
+    path) over 1 024- and 8 192-member corpora with the ivf-pq tier
+    enabled, and times two loads of each: a rows-only save (the
+    pre-version-2 behavior — codebooks retrain on attach) vs a version-2
+    save carrying the quantizer state.  The warm load must stay flat as
+    the corpus grows and must invoke ``seeded_kmeans`` exactly zero
+    times; it must also answer member queries byte-identically to the
+    node that saved it.
+    """
+    import shutil
+    import tempfile
+
+    import repro.core.predictor as predictor_module
+    from repro.core.graph import FeatureGraph
+    from repro.core.predictor import (QuantizationConfig,
+                                      RecommendationCandidateSet)
+    from repro.core.persistence import load_advisor, save_advisor
+    from repro.testbed.scores import ScoreLabel
+
+    dim, vertex_dim = 64, 4
+    quant = QuantizationConfig(enabled=True, mode="pq", ivf=True,
+                               min_size=8, ivf_min_size=8)
+
+    def build_advisor(n: int) -> AutoCE:
+        # ann=None keeps the neighbor index out of the load path, so the
+        # cold/warm delta isolates the quantizer attach cost.
+        advisor = AutoCE(AutoCEConfig(
+            hidden_dim=8, embedding_dim=dim, use_incremental=False,
+            ann=None, quantization=quant, seed=0))
+        advisor.encoder = GINEncoder(vertex_dim, hidden_dim=8,
+                                     embedding_dim=dim, seed=0)
+        rows = wide_family_embeddings(n, dim=dim, seed=0)
+        labels = [ScoreLabel(model_names=MODELS,
+                             sa=np.full(len(MODELS), 0.5),
+                             se=np.full(len(MODELS), 0.5))
+                  for _ in range(n)]
+        # A constant handful of tiny graphs: the graph payload must not
+        # scale with the corpus, so load time isolates the quantizer path.
+        advisor._graphs = [
+            FeatureGraph(name=f"g{i}",
+                         vertices=np.zeros((2, vertex_dim)),
+                         edges=np.zeros((2, 2)))
+            for i in range(4)
+        ]
+        advisor._labels = labels
+        advisor.rcs = RecommendationCandidateSet(rows, labels,
+                                                 quantization=quant)
+        return advisor
+
+    workdir = Path(tempfile.mkdtemp(dir=tmp_root))
+    original_kmeans = predictor_module.seeded_kmeans
+    kmeans_calls = {"n": 0}
+
+    def counting_kmeans(*args, **kwargs):
+        kmeans_calls["n"] += 1
+        return original_kmeans(*args, **kwargs)
+
+    try:
+        sizes = (1024, 8192)
+        cold_s: dict[int, float] = {}
+        warm_s: dict[int, float] = {}
+        warm_kmeans: dict[int, int] = {}
+        for n in sizes:
+            advisor = build_advisor(n)
+            cold_path = str(workdir / f"cold_{n}.npz")
+            warm_path = str(workdir / f"warm_{n}.npz")
+            save_advisor(advisor, cold_path, include_quantizer_state=False)
+            save_advisor(advisor, warm_path)
+            cold, warm = interleaved_best(
+                lambda: load_advisor(cold_path),
+                lambda: load_advisor(warm_path), repeats)
+            cold_s[n], warm_s[n] = cold, warm
+
+            predictor_module.seeded_kmeans = counting_kmeans
+            kmeans_calls["n"] = 0
+            try:
+                reloaded = load_advisor(warm_path)
+            finally:
+                predictor_module.seeded_kmeans = original_kmeans
+            warm_kmeans[n] = kmeans_calls["n"]
+            probes = advisor.rcs.embeddings[:32]
+            expect_idx, expect_dist = advisor.rcs.search(probes, 5)
+            got_idx, got_dist = reloaded.rcs.search(probes, 5)
+            assert (np.array_equal(expect_idx, got_idx)
+                    and np.array_equal(expect_dist, got_dist)), \
+                "warm-restored advisor diverged from the saving node"
+        small, large = sizes
+        return {"sizes": list(sizes), "dim": dim, "tier": "ivf-pq",
+                "cold_load_s": {str(n): cold_s[n] for n in sizes},
+                "warm_load_s": {str(n): warm_s[n] for n in sizes},
+                "cold_growth_8x": cold_s[large] / cold_s[small],
+                "warm_growth_8x": warm_s[large] / warm_s[small],
+                "kmeans_calls_on_warm_load": max(warm_kmeans.values()),
+                "before_s": cold_s[large], "after_s": warm_s[large],
+                "speedup": cold_s[large] / warm_s[large]}
+    finally:
+        predictor_module.seeded_kmeans = original_kmeans
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
 #: Bench name → runner, in the canonical reporting order.
 BENCHES = {
     "featurize_corpus": bench_featurize,
@@ -601,6 +774,8 @@ BENCHES = {
     "e2lsh_search": bench_e2lsh_search,
     "quantized_search": bench_quantized_search,
     "pq_search": bench_pq_search,
+    "ivf_search": bench_ivf_search,
+    "restart_warm": bench_restart_warm,
 }
 
 

@@ -18,7 +18,7 @@ _CTOR_DTYPE_POS = {
 }
 
 #: Modules the rule scopes itself to (paths inside src/repro).
-DEFAULT_SCOPE_FILES = frozenset({"core/predictor.py"})
+DEFAULT_SCOPE_FILES = frozenset({"core/predictor.py", "core/ivf.py"})
 DEFAULT_SCOPE_PREFIXES = ("serving/",)
 
 
@@ -34,7 +34,8 @@ class DtypePromotionRule(Rule):
     title = "implicit float64 promotion in a serving-tier module"
     severity = "warning"
     contract = """\
-In the serving-tier modules (core/predictor.py and serving/*) every
+In the serving-tier modules (core/predictor.py, core/ivf.py and
+serving/*) every
 array *constructor* that defaults to float64 — np.array, np.zeros,
 np.ones, np.empty, np.full, np.eye, np.identity — must name its dtype
 explicitly (dtype=np.float64 when full precision is the point,

@@ -380,9 +380,12 @@ class AutoCE:
 
         ``mode`` optionally re-pins the code layout: "auto" (flat int8 up
         to the exactness bound, product quantization for wider
-        embeddings), "int8" or "pq".  The RCS re-selects and recalibrates
-        the store, and the cache generation stamp — which folds in the
-        quantization params — re-derives itself.
+        embeddings), "int8" or "pq".  When the resulting config values
+        match what the attached store was built under, the call is a
+        no-op — no codebook retraining, and the cache generation stamp
+        (which folds in the quantization params and is unchanged by
+        definition) survives.  Any value change re-selects and
+        recalibrates the store and re-derives the stamp.
         """
         if mode is not None:
             # replace() re-runs QuantizationConfig.__post_init__, so the
@@ -390,9 +393,11 @@ class AutoCE:
             self.config.quantization = replace(self.config.quantization,
                                                mode=mode)
         self.config.quantization.enabled = bool(enabled)
-        self._invalidate_embedding_cache()
+        changed = True
         if self.rcs is not None:
-            self.rcs.set_quantization(self.config.quantization)
+            changed = self.rcs.set_quantization(self.config.quantization)
+        if changed:
+            self._invalidate_embedding_cache()
         return self
 
     # ------------------------------------------------------------------

@@ -25,6 +25,7 @@ Typical usage::
 
 from __future__ import annotations
 
+import hashlib
 import json
 import zipfile
 import zlib
@@ -38,11 +39,22 @@ from .dml import DMLConfig, DMLTrainer
 from .encoder import GINEncoder
 from .graph import FeatureGraph
 from .incremental import IncrementalConfig
-from .predictor import (ANNConfig, E2LSHConfig, QuantizationConfig,
+from .predictor import (ANNConfig, CandidateStore, E2LSHConfig, PQStore,
+                        QuantizationConfig, QuantizedStore,
                         RecommendationCandidateSet)
 
-#: Bump on any change to the on-disk layout.
-FORMAT_VERSION = 1
+#: Bump on any change to the on-disk layout.  Version 2 added the optional
+#: quantizer-state block (``quant_*`` arrays + the ``"quantizer"`` metadata
+#: entry carrying kind / generation stamp / scalar state) so reloaded nodes
+#: attach codebooks instead of retraining them.
+FORMAT_VERSION = 2
+
+#: Versions this build can read.  Version-1 saves simply have no quantizer
+#: block, so they load through the retrain-on-attach path unchanged.
+_SUPPORTED_VERSIONS = frozenset({1, 2})
+
+#: Prefix namespacing the quantizer-state arrays inside the ``.npz``.
+_QUANT_PREFIX = "quant_"
 
 
 class AdvisorLoadError(ValueError):
@@ -74,13 +86,17 @@ def _config_from_dict(payload: dict) -> AutoCEConfig:
     # Advisors saved before the scale-out serving fields existed load with
     # the defaults (exact search, in-memory cache only); likewise the
     # nested E2LSH block and the dtype tier default when absent.
-    if "ann" in payload:
+    # `.get(...) is not None`, not `in`: an advisor configured with the
+    # index (or the quantized tier) explicitly off serializes the field as
+    # JSON null, which must round-trip to None rather than crash the load.
+    if payload.get("ann") is not None:
         ann = dict(payload["ann"])
         if "e2lsh" in ann:
             ann["e2lsh"] = E2LSHConfig(**ann["e2lsh"])
         payload["ann"] = ANNConfig(**ann)
-    if "quantization" in payload:
-        payload["quantization"] = QuantizationConfig(**payload["quantization"])
+    if payload.get("quantization") is not None:
+        payload["quantization"] = QuantizationConfig(
+            **payload["quantization"])
     return AutoCEConfig(**payload)
 
 
@@ -116,8 +132,57 @@ def _label_from_dict(payload: dict) -> ScoreLabel:
                       se=np.asarray(payload["se"], dtype=np.float64))
 
 
-def save_advisor(advisor: AutoCE, path: str) -> None:
-    """Persist a fitted advisor to a single compressed ``.npz`` file."""
+def quantizer_generation(embeddings: np.ndarray,
+                         config: QuantizationConfig) -> str:
+    """Content stamp binding quantizer artifacts to (corpus, config).
+
+    Codebooks, codes and coarse centroids are pure functions of the RCS
+    rows and the quantization parameters, so the stamp hashes exactly
+    those two inputs.  A reloaded node recomputes the stamp from what it
+    actually loaded and attaches the saved artifacts only on a match —
+    anything else (edited rows, changed knobs, a save produced by other
+    code) falls back to retraining, never to serving stale codes.
+    """
+    digest = hashlib.sha256()
+    rows = np.ascontiguousarray(embeddings)
+    digest.update(str(rows.shape).encode())
+    digest.update(str(rows.dtype).encode())
+    digest.update(rows.tobytes())
+    digest.update(repr(sorted(asdict(config).items())).encode())
+    return digest.hexdigest()[:16]
+
+
+def _restore_quantizer(embeddings: np.ndarray, config: QuantizationConfig,
+                       data: "np.lib.npyio.NpzFile",
+                       payload: dict) -> CandidateStore:
+    """Rebuild the saved candidate store — zero k-means, zero calibration."""
+    arrays = {name[len(_QUANT_PREFIX):]: data[name]
+              for name in data.files if name.startswith(_QUANT_PREFIX)}
+    meta = payload["meta"]
+    kind = payload["kind"]
+    base_kind = kind[len("ivf-"):] if kind.startswith("ivf-") else kind
+    base: QuantizedStore | PQStore
+    if base_kind == "pq":
+        base = PQStore.restore(embeddings, config, arrays, meta)
+    else:
+        base = QuantizedStore.restore(embeddings, config, arrays, meta)
+    if kind.startswith("ivf-"):
+        from .ivf import IVFStore
+        return IVFStore.restore(embeddings, config, arrays, meta, base)
+    return base
+
+
+def save_advisor(advisor: AutoCE, path: str, *,
+                 include_quantizer_state: bool = True) -> None:
+    """Persist a fitted advisor to a single compressed ``.npz`` file.
+
+    When the RCS has a quantized candidate tier attached, its full state
+    (codebooks, codes, coarse centroids/assignments, drift counters) is
+    saved alongside — stamped by :func:`quantizer_generation` — so
+    :func:`load_advisor` restores it without retraining.  Pass
+    ``include_quantizer_state=False`` to write rows-only saves (the
+    pre-version-2 behavior; loads retrain on attach).
+    """
     if advisor.encoder is None or advisor.rcs is None:
         raise ValueError("cannot save an unfitted advisor; call fit() first")
 
@@ -125,22 +190,52 @@ def save_advisor(advisor: AutoCE, path: str) -> None:
         "format_version": FORMAT_VERSION,
         "config": _config_to_dict(advisor.config),
         "vertex_dim": advisor.encoder.vertex_dim,
-        "labels": [_label_to_dict(label) for label in advisor._labels],
         "graph_names": [g.name for g in advisor._graphs],
         "num_graphs": len(advisor._graphs),
         "num_params": len(advisor.encoder.parameters()),
     }
     arrays: dict[str, np.ndarray] = {
-        "metadata": np.frombuffer(
-            json.dumps(metadata).encode("utf-8"), dtype=np.uint8),
         "rcs_embeddings": advisor.rcs.embeddings,
     }
+    labels = advisor._labels
+    if (labels and all(type(label) is ScoreLabel for label in labels)
+            and all(label.model_names == labels[0].model_names
+                    for label in labels)):
+        # Uniform synthetic corpora (the common serving shape) stack into
+        # two [N, m] arrays instead of N JSON dicts — per-member JSON is
+        # what used to dominate large-corpus load_advisor time.
+        metadata["labels"] = {"kind": "score_stack",
+                              "model_names": list(labels[0].model_names)}
+        arrays["label_sa"] = np.stack(
+            [np.asarray(label.sa, dtype=np.float64) for label in labels])
+        arrays["label_se"] = np.stack(
+            [np.asarray(label.se, dtype=np.float64) for label in labels])
+    else:
+        metadata["labels"] = [_label_to_dict(label) for label in labels]
+    store = advisor.rcs.quantized
+    if include_quantizer_state and store is not None:
+        quant_arrays, quant_meta = store.export_state()
+        for name, value in quant_arrays.items():
+            arrays[f"{_QUANT_PREFIX}{name}"] = value
+        metadata["quantizer"] = {
+            "kind": store.kind,
+            "generation": quantizer_generation(
+                advisor.rcs.embeddings, advisor.config.quantization),
+            "meta": quant_meta,
+        }
+    arrays["metadata"] = np.frombuffer(
+        json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
     for i, param in enumerate(advisor.encoder.parameters()):
         arrays[f"param_{i}"] = param.numpy()
     for i, graph in enumerate(advisor._graphs):
         arrays[f"graph_{i}_vertices"] = graph.vertices
         arrays[f"graph_{i}_edges"] = graph.edges
-    np.savez_compressed(path, **arrays)
+    # Stored, not deflated: the bulk of a save is float embedding rows and
+    # quantizer codes, which zlib shrinks by only a few percent while
+    # costing ~10x the read time — and restart latency (a crashed shard
+    # worker reloading inside its backoff budget) is exactly what the
+    # persisted quantizer state exists to protect.
+    np.savez(path, **arrays)
 
 
 def load_advisor(path: str) -> AutoCE:
@@ -165,10 +260,11 @@ def _load_advisor(path: str) -> AutoCE:
     with np.load(path) as data:
         metadata = json.loads(bytes(data["metadata"]).decode("utf-8"))
         version = metadata.get("format_version")
-        if version != FORMAT_VERSION:
+        if version not in _SUPPORTED_VERSIONS:
             raise ValueError(
                 f"unsupported advisor format version {version!r} "
-                f"(this build reads version {FORMAT_VERSION})")
+                f"(this build reads versions "
+                f"{sorted(_SUPPORTED_VERSIONS)})")
 
         config = _config_from_dict(metadata["config"])
         advisor = AutoCE(config)
@@ -194,7 +290,16 @@ def _load_advisor(path: str) -> AutoCE:
             param.data[...] = saved
         advisor.encoder.eval()
 
-        advisor._labels = [_label_from_dict(p) for p in metadata["labels"]]
+        labels_meta = metadata["labels"]
+        if isinstance(labels_meta, dict):
+            # v2 stacked score labels: rows of the two [N, m] arrays.
+            names = tuple(labels_meta["model_names"])
+            sa, se = data["label_sa"], data["label_se"]
+            advisor._labels = [ScoreLabel(model_names=names,
+                                          sa=sa[i], se=se[i])
+                               for i in range(len(sa))]
+        else:
+            advisor._labels = [_label_from_dict(p) for p in labels_meta]
         advisor._graphs = [
             FeatureGraph(name=name,
                          vertices=data[f"graph_{i}_vertices"],
@@ -202,13 +307,25 @@ def _load_advisor(path: str) -> AutoCE:
             for i, name in enumerate(metadata["graph_names"])
         ]
         # RCS embeddings were saved at the serving tier (which the config
-        # round-trips), so the reloaded node serves — and, when enabled,
-        # recalibrates the quantized candidate tier (int8 codes or PQ
-        # codebooks, per the round-tripped mode/params) from — the exact
-        # same rows.
+        # round-trips), so the reloaded node serves the exact same rows.
+        # When the save carries quantizer state whose generation stamp
+        # matches what we actually loaded (rows + round-tripped config),
+        # the saved store attaches directly — zero k-means calls, restart
+        # cost O(1) in corpus size.  A missing block (v1 saves, rows-only
+        # saves) or a stamp mismatch falls back to retraining on attach.
+        embeddings = data["rcs_embeddings"]
+        quantized_store: CandidateStore | None = None
+        quant_payload = metadata.get("quantizer")
+        if (quant_payload is not None and config.quantization is not None
+                and config.quantization.enabled):
+            expected = quantizer_generation(embeddings, config.quantization)
+            if quant_payload.get("generation") == expected:
+                quantized_store = _restore_quantizer(
+                    embeddings, config.quantization, data, quant_payload)
         advisor.rcs = RecommendationCandidateSet(
-            data["rcs_embeddings"], list(advisor._labels), ann=config.ann,
-            quantization=config.quantization)
+            embeddings, list(advisor._labels), ann=config.ann,
+            quantization=config.quantization,
+            quantized_store=quantized_store)
 
     advisor.trainer = DMLTrainer(advisor.encoder, config.dml)
     return advisor

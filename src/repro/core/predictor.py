@@ -45,8 +45,8 @@ float-tier re-rank, so returned distances stay float-exact.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -218,6 +218,21 @@ class QuantizationConfig:
     #: triggers recalibration immediately (a gross outlier would otherwise
     #: fold onto the range boundary and alias with every other boundary row).
     drift_outlier_factor: float = 2.0
+    #: Wrap the selected store in an IVF coarse partition
+    #: (:class:`~repro.core.ivf.IVFStore`): a seeded-k-means coarse
+    #: quantizer over the corpus, per-cell contiguous code blocks, and a
+    #: probed scan touching only the ``nprobe`` nearest cells —
+    #: O(N/cells · nprobe) candidate cost instead of O(N).
+    ivf: bool = False
+    #: IVF: number of coarse cells (0 = auto, ≈ √N clipped).
+    ivf_cells: int = 0
+    #: IVF: cells probed per query.  ``nprobe ≥ cells`` degrades —
+    #: bit-for-bit — to the unpartitioned store scan.
+    nprobe: int = 8
+    #: IVF: corpora below this many members skip the probed path entirely
+    #: (the coarse GEMM + per-cell bookkeeping only pays for itself once
+    #: the full code scan is large); the unpartitioned store serves.
+    ivf_min_size: int = 1024
 
     def __post_init__(self) -> None:
         # Fail at configuration time, not from deep inside the RCS attach.
@@ -228,6 +243,12 @@ class QuantizationConfig:
         if not 1 <= self.codebook_size <= 256:
             raise ValueError("codebook_size must be in [1, 256] "
                              "(PQ codes are uint8)")
+        if self.ivf_cells < 0:
+            raise ValueError("ivf_cells must be >= 0 (0 = auto)")
+        if self.nprobe < 1:
+            raise ValueError("nprobe must be >= 1")
+        if self.ivf_min_size < 0:
+            raise ValueError("ivf_min_size must be >= 0")
 
 
 def quantized_distances_int32_reference(query_codes: np.ndarray,
@@ -509,6 +530,52 @@ class QuantizedStore:
         candidates = np.argpartition(code_sq, pool - 1, axis=1)[:, :pool]
         candidates.sort(axis=1)
         return rerank_candidates(queries, embeddings, candidates, k)
+
+    # -- persistence ------------------------------------------------------
+    def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
+        """(arrays, JSON-able meta) capturing calibration, codes and the
+        drift-accounting counters — everything :meth:`restore` needs to
+        resurrect the store without requantizing."""
+        assert self.zero_point is not None and self._codes is not None
+        arrays = {"codes": self._codes[:self._size],
+                  "zero_point": self.zero_point}
+        meta = {"scale": self.scale,
+                "added": self._added_since_calibration,
+                "clipped": self._clipped_since_calibration}
+        return arrays, meta
+
+    @classmethod
+    def restore(cls, embeddings: np.ndarray, config: QuantizationConfig,
+                arrays: dict[str, np.ndarray],
+                meta: dict) -> "QuantizedStore":
+        """Rebuild from persisted state — no calibration pass.
+
+        The code norms are recomputed from the saved codes (bit-identical
+        to what :meth:`recalibrate` derives — same cast, same reduction);
+        everything else loads verbatim, including the drift counters, so a
+        restored node recalibrates at exactly the same future add as the
+        node that saved it.
+        """
+        store = cls.__new__(cls)
+        store.config = config
+        codes = np.asarray(arrays["codes"], dtype=np.int8)
+        n, dim = codes.shape
+        store.scale = float(meta["scale"])
+        store.zero_point = np.asarray(arrays["zero_point"],
+                                      dtype=np.float64)
+        store._gemm_dtype = np.dtype(
+            np.float32 if 4 * dim * 127 * 127 < 2 ** 24 else np.float64)
+        capacity = max(4, n)
+        store._codes = np.zeros((capacity, dim), dtype=np.int8)
+        store._codes[:n] = codes
+        store._codes_float = None
+        store._norms = np.zeros(capacity, dtype=store._gemm_dtype)
+        gemm = store._codes[:n].astype(store._gemm_dtype)
+        store._norms[:n] = (gemm * gemm).sum(axis=1)
+        store._size = n
+        store._added_since_calibration = int(meta["added"])
+        store._clipped_since_calibration = int(meta["clipped"])
+        return store
 
 
 # ----------------------------------------------------------------------
@@ -997,31 +1064,136 @@ class PQStore:
         return rerank_candidates(queries, embeddings, candidates, k,
                                  member_norms=self._member_norms[:n])
 
+    # -- persistence ------------------------------------------------------
+    def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
+        """(arrays, JSON-able meta) capturing codebooks, codes, the
+        reconstruction norms and the drift counters."""
+        assert self._codes is not None and self._recon_norms is not None
+        arrays: dict[str, np.ndarray] = {
+            "codes": self._codes[:self._size],
+            "recon_norms": self._recon_norms[:self._size],
+        }
+        for i, book in enumerate(self._codebooks):
+            arrays[f"codebook_{i}"] = book
+        if self._residual_codes is not None:
+            arrays["residual_codes"] = self._residual_codes[:self._size]
+            for i, book in enumerate(self._residual_codebooks):
+                arrays[f"residual_codebook_{i}"] = book
+        meta = {"err_scale": self._err_scale,
+                "added": self._added_since_calibration,
+                "high_error": self._high_error_since_calibration,
+                "num_subspaces": self._num_subspaces}
+        return arrays, meta
 
-#: Either quantized candidate tier; everything downstream of
-#: :func:`select_quantizer` is layout-agnostic (``candidate_scan``, the
-#: LSH pool narrowing, the RCS requantization hooks).
-CandidateStore = QuantizedStore | PQStore
+    @classmethod
+    def restore(cls, embeddings: np.ndarray, config: QuantizationConfig,
+                arrays: dict[str, np.ndarray], meta: dict) -> "PQStore":
+        """Rebuild from persisted state — **zero** k-means calls.
+
+        Codebooks, codes and reconstruction norms load verbatim; the
+        float-tier member norms are recomputed from the live corpus (the
+        same reduction :meth:`recalibrate` runs, bit-identical), the
+        centroid-norm fold and the residual scan bias are re-derived from
+        the loaded codebooks (cheap, deterministic), and the drift
+        counters resume exactly where the saving node left them.
+        """
+        store = cls.__new__(cls)
+        store.config = config
+        codes = np.asarray(arrays["codes"], dtype=np.uint8)
+        n, m = codes.shape
+        raw = _as_float_matrix(embeddings)
+        member_norms = (raw * raw).sum(axis=1)
+        dim = raw.shape[1]
+        bounds = np.linspace(0, dim, m + 1).astype(np.int64)
+        store._splits = [slice(int(bounds[i]), int(bounds[i + 1]))
+                        for i in range(m)]
+        store._num_subspaces = m
+        store._codebooks = [
+            np.asarray(arrays[f"codebook_{i}"], dtype=np.float64)
+            for i in range(m)]
+        store._codebook_k = len(store._codebooks[0])
+        store._residual_codebooks = []
+        residual_codes = None
+        if "residual_codes" in arrays:
+            residual_codes = np.asarray(arrays["residual_codes"],
+                                        dtype=np.uint8)
+            store._residual_codebooks = [
+                np.asarray(arrays[f"residual_codebook_{i}"],
+                           dtype=np.float64)
+                for i in range(m)]
+        store._centroid_norms = [
+            [(book * book).sum(axis=1) for book in books]
+            for books in ([store._codebooks, store._residual_codebooks]
+                          if store._residual_codebooks
+                          else [store._codebooks])
+        ]
+        capacity = max(4, n)
+        store._codes = np.zeros((capacity, m), dtype=np.uint8)
+        store._codes[:n] = codes
+        store._residual_codes = None
+        store._scan_bias = None
+        if residual_codes is not None:
+            store._residual_codes = np.zeros((capacity, m), dtype=np.uint8)
+            store._residual_codes[:n] = residual_codes
+            store._scan_bias = np.zeros(capacity, dtype=np.float32)
+        store._member_norms = np.zeros(capacity, dtype=member_norms.dtype)
+        store._member_norms[:n] = member_norms
+        store._recon_norms = np.zeros(capacity, dtype=np.float32)
+        store._recon_norms[:n] = np.asarray(arrays["recon_norms"],
+                                            dtype=np.float32)
+        if store._scan_bias is not None:
+            store._scan_bias[:n] = store._recon_norms[:n] - store._fold_norms(
+                codes, residual_codes)
+        store._gather_codes = None
+        store._size = n
+        store._err_scale = float(meta["err_scale"])
+        store._added_since_calibration = int(meta["added"])
+        store._high_error_since_calibration = int(meta["high_error"])
+        return store
+
+
+if TYPE_CHECKING:
+    from .ivf import IVFStore
+
+    #: Any quantized candidate tier; everything downstream of
+    #: :func:`select_quantizer` is layout-agnostic (``candidate_scan``,
+    #: the LSH pool narrowing, the RCS requantization hooks).
+    CandidateStore = QuantizedStore | PQStore | IVFStore
+else:
+    # Runtime alias kept import-cycle-free: core.ivf imports this module,
+    # so the IVF member only joins the union under TYPE_CHECKING and
+    # select_quantizer imports it locally.
+    CandidateStore = QuantizedStore | PQStore
 
 
 def select_quantizer(embeddings: np.ndarray,
-                     config: QuantizationConfig) -> CandidateStore:
+                     config: QuantizationConfig) -> "CandidateStore":
     """Build the candidate tier a corpus' width calls for.
 
     ``mode="auto"`` picks flat int8 up to ``INT8_EXACT_MAX_DIM`` dims —
     where its code distances are exact integer arithmetic in a float32
     GEMM — and product quantization past that, where flat int8 loses both
     its exactness bound and its compression ratio.  "int8" / "pq" pin a
-    layout regardless of width.
+    layout regardless of width.  ``ivf=True`` wraps the chosen flat store
+    in an :class:`~repro.core.ivf.IVFStore` coarse partition, which probes
+    only the ``nprobe`` nearest cells per query and delegates back to the
+    flat scan whenever the partition can't beat it (small corpus,
+    ``nprobe >= cells``).
     """
     embeddings = _as_float_matrix(embeddings)
     mode = config.mode
     if mode == "auto":
         mode = ("int8" if embeddings.shape[1] <= INT8_EXACT_MAX_DIM
                 else "pq")
+    base: QuantizedStore | PQStore
     if mode == "pq":
-        return PQStore(embeddings, config)
-    return QuantizedStore(embeddings, config)
+        base = PQStore(embeddings, config)
+    else:
+        base = QuantizedStore(embeddings, config)
+    if config.ivf:
+        from .ivf import IVFStore
+        return IVFStore(embeddings, config, store=base)
+    return base
 
 
 def candidate_scan(queries: np.ndarray, embeddings: np.ndarray, k: int,
@@ -1887,7 +2059,8 @@ class RecommendationCandidateSet:
     def __init__(self, embeddings: np.ndarray | None = None,
                  labels: list[ScoreLabel] | None = None,
                  ann: ANNConfig | None = None,
-                 quantization: QuantizationConfig | None = None) -> None:
+                 quantization: QuantizationConfig | None = None,
+                 quantized_store: "CandidateStore | None" = None) -> None:
         # The buffer keeps the embeddings' precision tier: a float32 corpus
         # (the serving fast tier) is stored and searched in float32.
         embeddings = (np.zeros((0, 0), dtype=np.float64)
@@ -1905,8 +2078,21 @@ class RecommendationCandidateSet:
         self._index_size = 0
         self.quantization = quantization
         self._quantized: CandidateStore | None = None
+        #: Value snapshot of the config the attached store was built under
+        #: (the live ``quantization`` object may be mutated in place by
+        #: :meth:`AutoCE.set_quantization`; the snapshot is what makes the
+        #: no-op check a *value* comparison).
+        self._quantized_config: QuantizationConfig | None = None
         self._sync_index()
-        self._sync_quantized()
+        if (quantized_store is not None and quantization is not None
+                and quantization.enabled
+                and len(quantized_store) == self._size):
+            # Warm attach (persistence restore path): adopt a prebuilt
+            # store instead of retraining codebooks from the rows.
+            self._quantized = quantized_store
+            self._quantized_config = replace(quantization)
+        else:
+            self._sync_quantized()
 
     def __len__(self) -> int:
         return len(self.labels)
@@ -1955,20 +2141,33 @@ class RecommendationCandidateSet:
         if (self._quantized is None and config is not None and config.enabled
                 and self._size >= config.min_size):
             self._quantized = select_quantizer(self.embeddings, config)
+            self._quantized_config = replace(config)
 
-    def set_quantization(self, config: QuantizationConfig | None) -> None:
+    def set_quantization(self, config: QuantizationConfig | None) -> bool:
         """Switch the quantized candidate tier on or off for a live RCS.
 
-        Always re-selects the layout: a config whose ``mode`` changed (or
-        whose "auto" resolves differently) swaps the store class, and
-        construction recalibrates from the live corpus either way.
+        Returns whether anything changed.  Re-enabling with a config whose
+        *values* match the one the attached store was built under (and a
+        store still covering the live corpus) is a no-op — no codebook
+        retraining, no k-means.  Any value change re-selects the layout: a
+        config whose ``mode`` changed (or whose "auto" resolves
+        differently) swaps the store class, and construction recalibrates
+        from the live corpus either way.
         """
         self.quantization = config
         if config is None or not config.enabled:
+            changed = self._quantized is not None
             self._quantized = None
-            return
+            self._quantized_config = None
+            return changed
+        if (self._quantized is not None
+                and self._quantized_config == config
+                and len(self._quantized) == self._size):
+            return False
         self._quantized = None
+        self._quantized_config = None
         self._sync_quantized()
+        return True
 
     def add(self, embedding: np.ndarray, label: ScoreLabel) -> None:
         embedding = _as_float_matrix(embedding).ravel()

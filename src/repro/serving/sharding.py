@@ -23,6 +23,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..core.ivf import IVFStore
 from ..core.predictor import (ANNConfig, INT8_EXACT_MAX_DIM,
                               CandidateStore, QuantizationConfig,
                               candidate_scan, exact_search,
@@ -171,6 +172,12 @@ class ShardRuntime:
         store = self._store_for(tier)
         if store is None:
             return
+        if isinstance(store, IVFStore):
+            # The IVF wrapper serves codes out of cell-ordered block
+            # copies; scramble the flat store underneath and drop the
+            # blocks so the rot is what the probed scan actually reads.
+            store.invalidate_blocks()
+            store = store.store
         codes = store.codes
         noise = self._rng.integers(0, 127, size=codes.shape)
         codes[...] = noise.astype(codes.dtype)

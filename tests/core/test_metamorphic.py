@@ -24,6 +24,7 @@ import pytest
 
 from repro.core.advisor import AutoCE, AutoCEConfig
 from repro.core.dml import DMLConfig
+from repro.core.ivf import IVFStore
 from repro.core.predictor import (ANNConfig, ANNIndex, E2LSHConfig,
                                   E2LSHIndex, ExactIndex, PQStore,
                                   QuantizationConfig, QuantizedStore)
@@ -35,7 +36,7 @@ from repro.testbed.scores import DatasetLabel
 
 MODELS = ("A", "B", "C")
 PATHS = ("exact", "sign", "e2lsh", "quantized", "pq", "sign-int8",
-         "e2lsh-int8", "e2lsh-pq")
+         "e2lsh-int8", "e2lsh-pq", "ivf-int8", "ivf-pq")
 
 
 # ----------------------------------------------------------------------
@@ -92,6 +93,21 @@ def pq_quant(overfetch: int = 4) -> QuantizationConfig:
                               overfetch=overfetch)
 
 
+def ivf_int8_quant() -> QuantizationConfig:
+    # Few cells and nprobe < cells so the probed scan genuinely engages
+    # on the 36-member advisor corpus (nprobe >= cells would delegate).
+    return QuantizationConfig(enabled=True, mode="int8", min_size=8,
+                              overfetch=4, ivf=True, ivf_cells=4, nprobe=2,
+                              ivf_min_size=8)
+
+
+def ivf_pq_quant() -> QuantizationConfig:
+    return QuantizationConfig(enabled=True, mode="pq", num_subspaces=4,
+                              codebook_size=16, min_size=8, overfetch=4,
+                              ivf=True, ivf_cells=4, nprobe=2,
+                              ivf_min_size=8)
+
+
 def path_config(path: str) -> AutoCEConfig:
     config = AutoCEConfig(hidden_dim=16, embedding_dim=8, knn_k=3,
                           use_incremental=False,
@@ -119,6 +135,12 @@ def path_config(path: str) -> AutoCEConfig:
     elif path == "e2lsh-pq":
         config.ann = e2lsh_ann()
         config.quantization = pq_quant(overfetch=2)
+    elif path == "ivf-int8":
+        config.ann = ANNConfig(threshold=0)
+        config.quantization = ivf_int8_quant()
+    elif path == "ivf-pq":
+        config.ann = ANNConfig(threshold=0)
+        config.quantization = ivf_pq_quant()
     else:
         raise ValueError(path)
     return config
@@ -159,6 +181,10 @@ def advisors(corpus):
     assert isinstance(built["e2lsh-int8"].rcs.quantized, QuantizedStore)
     assert isinstance(built["e2lsh-pq"].rcs.index, E2LSHIndex)
     assert isinstance(built["e2lsh-pq"].rcs.quantized, PQStore)
+    assert isinstance(built["ivf-int8"].rcs.quantized, IVFStore)
+    assert built["ivf-int8"].rcs.quantized.kind == "ivf-int8"
+    assert isinstance(built["ivf-pq"].rcs.quantized, IVFStore)
+    assert built["ivf-pq"].rcs.quantized.kind == "ivf-pq"
     return built
 
 
@@ -264,6 +290,20 @@ def make_searcher(path: str, members: np.ndarray):
         store = PQStore(members, QuantizationConfig(
             enabled=True, mode="pq", num_subspaces=8, codebook_size=64,
             min_size=16, overfetch=8))
+    elif path == "ivf-int8":
+        # One coarse cell per family, probing 8: the true top-k live in
+        # the query's own (certainly probed) cell, so the probed scan
+        # keeps the exact ranking on both translation alignments.
+        index = ExactIndex()
+        store = IVFStore(members, QuantizationConfig(
+            enabled=True, mode="int8", min_size=16, overfetch=8,
+            ivf=True, ivf_cells=64, nprobe=8, ivf_min_size=16))
+    elif path == "ivf-pq":
+        index = ExactIndex()
+        store = IVFStore(members, QuantizationConfig(
+            enabled=True, mode="pq", num_subspaces=16, codebook_size=128,
+            min_size=16, overfetch=8, ivf=True, ivf_cells=64, nprobe=8,
+            ivf_min_size=16))
     else:
         raise ValueError(path)
     return lambda queries, k: index.search(queries, members, k, store=store)

@@ -132,6 +132,24 @@ class TestErrors:
         with pytest.raises(ValueError, match="format version"):
             load_advisor(path)
 
+    def test_previous_format_version_still_accepted(self, fitted, tmp_path):
+        """v1 saves (pre-IVF, per-label JSON, no quantizer block) must keep
+        loading: the version gate is a whitelist, not an equality check."""
+        advisor, graphs, _ = fitted
+        path = str(tmp_path / "advisor.npz")
+        save_advisor(advisor, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        metadata = json.loads(bytes(arrays["metadata"]).decode("utf-8"))
+        metadata["format_version"] = 1
+        arrays["metadata"] = np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
+        np.savez_compressed(path, **arrays)
+        reloaded = load_advisor(path)
+        a = advisor.recommend(graphs[0], 0.9)
+        b = reloaded.recommend(graphs[0], 0.9)
+        assert a.model == b.model
+
 
 class TestLabelPayloads:
     def test_score_label_round_trip(self):

@@ -3,7 +3,8 @@
 ``corpus.npz`` freezes a small labeled corpus and a query set; the JSON
 golden file freezes the top-3 recommendation ranking per query for each
 serving path (exact / sign-hash / E2LSH / int8-quantized / PQ, plus the
-LSH families with quantized re-rank pools).  Any kernel change that
+LSH families with quantized re-rank pools and the IVF-partitioned
+quantized tiers).  Any kernel change that
 silently moves a ranking — featurization, the GIN forward, the DML loss,
 a distance kernel, an index probe, a codebook — fails the diff here even
 when every behavioral test still passes.
@@ -115,6 +116,21 @@ def _pq_quant(overfetch: int = 4) -> QuantizationConfig:
                               overfetch=overfetch)
 
 
+def _ivf_int8_quant() -> QuantizationConfig:
+    # nprobe < cells so the probed scan genuinely engages on the frozen
+    # 48-member corpus (nprobe >= cells would delegate to the flat tier).
+    return QuantizationConfig(enabled=True, mode="int8", min_size=8,
+                              overfetch=4, ivf=True, ivf_cells=4, nprobe=2,
+                              ivf_min_size=8)
+
+
+def _ivf_pq_quant() -> QuantizationConfig:
+    return QuantizationConfig(enabled=True, mode="pq", num_subspaces=4,
+                              codebook_size=16, min_size=8, overfetch=4,
+                              ivf=True, ivf_cells=4, nprobe=2,
+                              ivf_min_size=8)
+
+
 def path_config(path: str) -> AutoCEConfig:
     config = AutoCEConfig(hidden_dim=16, embedding_dim=8, knn_k=3,
                           use_incremental=False,
@@ -142,13 +158,19 @@ def path_config(path: str) -> AutoCEConfig:
     elif path == "e2lsh-pq":
         config.ann = _e2lsh_ann()
         config.quantization = _pq_quant(overfetch=2)
+    elif path == "ivf-int8":
+        config.ann = ANNConfig(threshold=0)
+        config.quantization = _ivf_int8_quant()
+    elif path == "ivf-pq":
+        config.ann = ANNConfig(threshold=0)
+        config.quantization = _ivf_pq_quant()
     else:
         raise ValueError(path)
     return config
 
 
 PATHS = ("exact", "sign", "e2lsh", "quantized", "pq", "sign-int8",
-         "e2lsh-int8", "e2lsh-pq")
+         "e2lsh-int8", "e2lsh-pq", "ivf-int8", "ivf-pq")
 
 
 def compute_top3(path: str) -> list[list[str]]:

@@ -165,6 +165,26 @@ class TestLabelAndRecommend:
         # layout must still be accepted and reported truthfully.
         assert "pq candidates" not in out
 
+    def test_serve_ivf_flag_attaches_the_ivf_tier(self, advisor_file,
+                                                  dataset_file, tmp_path,
+                                                  capsys):
+        from repro.core.persistence import load_advisor, save_advisor
+        from repro.core.predictor import QuantizationConfig
+
+        # The shared CLI advisor sits below the default attach floor;
+        # lower it so the --ivf knob has a corpus to partition.
+        advisor = load_advisor(advisor_file)
+        advisor.config.quantization = QuantizationConfig(
+            enabled=False, mode="int8", min_size=4, ivf_min_size=4)
+        low_floor = str(tmp_path / "advisor-low-floor.npz")
+        save_advisor(advisor, low_floor)
+        code = main(["serve", dataset_file, "--advisor", low_floor,
+                     "--ivf", "4", "--nprobe", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 1 recommendations" in out
+        assert "ivf-int8 candidates" in out
+
     def test_serve_quantize_rejects_an_unknown_layout(self, advisor_file,
                                                       dataset_file):
         with pytest.raises(SystemExit):
@@ -275,6 +295,35 @@ class TestServeFaultTolerance:
         assert "latency: p50" in sharded
         assert "shard 0:" in sharded and "shard 1:" in sharded
         assert "restarts=0" in sharded
+
+    def test_latency_split_reports_degraded_separately(
+            self, advisor_file, dataset_files, capsys, monkeypatch):
+        """Regression: degraded (early-return) responses used to be pooled
+        into the same percentiles as healthy ones, dragging p50/p95 down
+        and masking healthy-path regressions."""
+        from repro.serving.supervisor import ShardedServer
+
+        real = ShardedServer.recommend_batch
+        calls = {"n": 0}
+
+        def degrade_first(self, datasets, **kwargs):
+            recs = real(self, datasets, **kwargs)
+            calls["n"] += 1
+            if calls["n"] == 1:
+                for rec in recs:
+                    rec.degraded = True
+                    rec.coverage = 0.5
+            return recs
+
+        monkeypatch.setattr(ShardedServer, "recommend_batch", degrade_first)
+        code = main(["serve", *dataset_files, "--advisor", advisor_file,
+                     "--shards", "2", "--deadline-ms", "30000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(1 degraded)" in out
+        assert "latency (healthy): p50" in out
+        assert "latency (degraded): p50" in out
+        assert "latency: p50" not in out
 
     def test_daemon_serves_stdin_paths_and_reports_bad_ones(
             self, advisor_file, dataset_files, capsys, monkeypatch):
