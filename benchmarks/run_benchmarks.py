@@ -675,7 +675,7 @@ def bench_restart_warm(repeats: int, tmp_root: Path | None = None) -> dict:
     import shutil
     import tempfile
 
-    import repro.core.predictor as predictor_module
+    import repro.core.serving.quantizers as quantizers_module
     from repro.core.graph import FeatureGraph
     from repro.core.predictor import (QuantizationConfig,
                                       RecommendationCandidateSet)
@@ -713,7 +713,7 @@ def bench_restart_warm(repeats: int, tmp_root: Path | None = None) -> dict:
         return advisor
 
     workdir = Path(tempfile.mkdtemp(dir=tmp_root))
-    original_kmeans = predictor_module.seeded_kmeans
+    original_kmeans = quantizers_module.seeded_kmeans
     kmeans_calls = {"n": 0}
 
     def counting_kmeans(*args, **kwargs):
@@ -736,12 +736,12 @@ def bench_restart_warm(repeats: int, tmp_root: Path | None = None) -> dict:
                 lambda: load_advisor(warm_path), repeats)
             cold_s[n], warm_s[n] = cold, warm
 
-            predictor_module.seeded_kmeans = counting_kmeans
+            quantizers_module.seeded_kmeans = counting_kmeans
             kmeans_calls["n"] = 0
             try:
                 reloaded = load_advisor(warm_path)
             finally:
-                predictor_module.seeded_kmeans = original_kmeans
+                quantizers_module.seeded_kmeans = original_kmeans
             warm_kmeans[n] = kmeans_calls["n"]
             probes = advisor.rcs.embeddings[:32]
             expect_idx, expect_dist = advisor.rcs.search(probes, 5)
@@ -759,8 +759,68 @@ def bench_restart_warm(repeats: int, tmp_root: Path | None = None) -> dict:
                 "before_s": cold_s[large], "after_s": warm_s[large],
                 "speedup": cold_s[large] / warm_s[large]}
     finally:
-        predictor_module.seeded_kmeans = original_kmeans
+        quantizers_module.seeded_kmeans = original_kmeans
         shutil.rmtree(workdir, ignore_errors=True)
+
+
+def bench_daemon_microbatch(repeats: int, rcs_size: int = 8192,
+                            num_requests: int = 128, k: int = 5) -> dict:
+    """The daemon stream: serial one-request-at-a-time loop vs the
+    micro-batch coalescer draining the same stream.
+
+    Both paths run the real ``iter_batches`` coalescer over the same
+    line stream (an in-memory stream drains greedily, so the batched
+    run coalesces ``max_batch`` requests per ``recommend_batch`` call
+    while ``max_batch=1`` recovers the old serial loop).  The coalesced
+    answers must match the serial ones bit-for-bit per request.
+    """
+    import io
+
+    from repro.core.serving import (KNNPredictor,
+                                    RecommendationCandidateSet)
+    from repro.serving import BatchingConfig, iter_batches
+    from repro.testbed.scores import DatasetLabel
+
+    rng = np.random.default_rng(11)
+    members = rng.normal(size=(rcs_size, 32))
+    labels = [DatasetLabel(MODELS, rng.uniform(1, 10, 3),
+                           rng.uniform(0.001, 0.01, 3))
+              for _ in range(rcs_size)]
+    rcs = RecommendationCandidateSet(members, labels)
+    predictor = KNNPredictor()
+    queries = rng.normal(size=(num_requests, 32))
+    stream_text = "".join(f"{i}\n" for i in range(num_requests))
+
+    serial = BatchingConfig(max_batch=1, window_ms=0)
+    coalesced = BatchingConfig(max_batch=16, window_ms=0)
+
+    def drain(config: BatchingConfig) -> list:
+        recs = []
+        for batch in iter_batches(io.StringIO(stream_text), config):
+            ids = [int(line) for line in batch]
+            recs.extend(predictor.recommend_batch(
+                queries[ids], rcs, 0.9, k=k))
+        return recs
+
+    before, after = interleaved_best(
+        lambda: drain(serial), lambda: drain(coalesced), repeats)
+
+    serial_recs, coalesced_recs = drain(serial), drain(coalesced)
+    assert len(serial_recs) == len(coalesced_recs) == num_requests
+    for s, c in zip(serial_recs, coalesced_recs):
+        # Picks, neighbor sets and score vectors are bit-for-bit; the
+        # raw distances may differ by 1-2 ulp because BLAS reduces a
+        # 1-row query (gemv) in a different order than a blocked gemm.
+        assert (s.model == c.model
+                and np.array_equal(s.neighbor_indices, c.neighbor_indices)
+                and np.array_equal(s.score_vector, c.score_vector)
+                and np.allclose(s.neighbor_distances, c.neighbor_distances,
+                                rtol=0, atol=1e-12)), \
+            "coalesced daemon answers diverged from the serial loop"
+    return {"rcs_size": rcs_size, "requests": num_requests,
+            "max_batch": coalesced.max_batch, "k": k,
+            "before_s": before, "after_s": after,
+            "speedup": before / after}
 
 
 #: Bench name → runner, in the canonical reporting order.
@@ -776,6 +836,7 @@ BENCHES = {
     "pq_search": bench_pq_search,
     "ivf_search": bench_ivf_search,
     "restart_warm": bench_restart_warm,
+    "daemon_microbatch": bench_daemon_microbatch,
 }
 
 

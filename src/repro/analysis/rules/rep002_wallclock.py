@@ -27,6 +27,7 @@ DEFAULT_ALLOWLIST = frozenset({
     "testbed/runner.py",
     "serving/supervisor.py",
     "serving/worker.py",
+    "serving/batching.py",
     "engine/e2e.py",
     "engine/execution.py",
     "experiments/fig12_online_learning.py",
@@ -41,8 +42,9 @@ class WallclockRule(Rule):
 time.time / time.perf_counter / time.monotonic (and _ns variants,
 process_time, datetime.now/utcnow/today) are confined to the modules
 whose job is timing: utils/timing.py, testbed/metrics.py,
-testbed/runner.py (latency labeling), serving/supervisor.py and
-serving/worker.py (deadlines and heartbeats), and the latency
+testbed/runner.py (latency labeling), serving/supervisor.py,
+serving/worker.py and serving/batching.py (deadlines, heartbeats and
+the micro-batch window), and the latency
 experiments (engine/e2e.py, engine/execution.py,
 fig12_online_learning.py).  Anywhere else a clock read is either dead
 weight or — worse — feeding a value that varies run to run into a path

@@ -1,0 +1,80 @@
+"""REP006: the predictor shim must stay a shim."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, ModuleSource, Rule
+
+#: Shim modules pinned by this rule, mapped to their line budget.  The
+#: budget is deliberately generous (a docstring plus re-export imports)
+#: — anything past it means code is accreting where it was evicted from.
+DEFAULT_SHIMS = {"core/predictor.py": 100}
+
+#: Top-level statement types a re-exporting shim legitimately contains:
+#: the module docstring (Expr), imports, and the ``__all__`` assignment.
+_ALLOWED_TOP_LEVEL = (ast.Import, ast.ImportFrom, ast.Assign, ast.Expr)
+
+
+class ShimGuardRule(Rule):
+    id = "REP006"
+    title = "a re-exporting shim regrew implementation code"
+    severity = "error"
+    contract = """\
+core/predictor.py was reduced to a re-exporting shim when the predictor
+monolith split into core/serving/ (kernels / quantizers / indexes /
+probe / store).  It must stay one: under 100 lines, and containing only
+a docstring, import statements and simple name assignments (__all__).
+Function or class definitions, loops, conditionals — any executable
+logic — belong in the core/serving/ module that owns the concern, not
+in the shim."""
+    rationale = """\
+The monolith took five PRs to accrete and one painful PR to split.  A
+shim is the cheapest place for it to regrow: every historical import
+path still resolves there, so "just one helper" added to the shim works
+fine and silently restarts the accretion.  Pinning the shim's size and
+statement shapes makes the regression a lint failure instead of a
+five-PR cleanup."""
+    example_bad = """\
+# in core/predictor.py (the shim)
+def exact_search(queries, embeddings, k):   # code is back in the shim
+    ..."""
+    example_good = """\
+# in core/predictor.py (the shim)
+from .serving.kernels import exact_search   # re-export only"""
+
+    def __init__(self, shims: dict[str, int] | None = None) -> None:
+        self.shims = dict(DEFAULT_SHIMS if shims is None else shims)
+
+    def check_module(self, module: ModuleSource) -> Iterator[Finding]:
+        budget = self.shims.get(module.module_rel or "")
+        if budget is None:
+            return
+        lines = module.text.count("\n") + (0 if module.text.endswith("\n")
+                                           else 1)
+        if lines >= budget:
+            yield self.finding(
+                module.path, module.tree,
+                f"shim is {lines} lines (budget < {budget}): the module "
+                "must stay a thin re-export layer; move implementation "
+                "into core/serving/")
+        for node in module.tree.body:
+            if isinstance(node, _ALLOWED_TOP_LEVEL):
+                # Expr is only legal as the docstring; Assign only for
+                # simple name targets like __all__.
+                if (isinstance(node, ast.Expr)
+                        and not (isinstance(node.value, ast.Constant)
+                                 and isinstance(node.value.value, str))):
+                    pass  # falls through to the finding below
+                elif (isinstance(node, ast.Assign)
+                        and not all(isinstance(t, ast.Name)
+                                    for t in node.targets)):
+                    pass
+                else:
+                    continue
+            yield self.finding(
+                module.path, node,
+                f"{type(node).__name__} statement in a re-exporting shim; "
+                "only a docstring, imports and __all__ are allowed — "
+                "implementation lives in core/serving/")

@@ -36,6 +36,7 @@ import argparse
 import os
 import sys
 import time
+import zipfile
 from dataclasses import replace
 from pathlib import Path
 
@@ -301,19 +302,36 @@ def _serve_requests(args: argparse.Namespace, advisor: AutoCE,
     """Serve the batch (or the stdin stream under ``--daemon``).
 
     Returns (recommendations served, degraded responses, per-request
-    ``(latency_seconds, was_degraded)`` samples).  Sharded serving answers
-    one request per dataset so the latency percentiles and the deadline
-    are per-request; the in-process path keeps the single batched call.
+    ``(latency_seconds, was_degraded)`` samples — one per *request* even
+    when requests were answered by one coalesced batch: the batch elapsed
+    time is attributed evenly and the degraded flag is each response's
+    own).  Under ``--daemon`` the stdin stream is coalesced into
+    micro-batches (``--batch-window-ms`` / ``--max-batch``) so concurrent
+    callers amortize the GIN forward and the scatter, and a malformed or
+    unreadable dataset costs one stderr line, never the daemon.
     """
-    from .serving import DegradedServiceError
+    from .serving import BatchingConfig, DegradedServiceError, iter_batches
 
     latencies: list[tuple[float, bool]] = []
     served = 0
     degraded = 0
 
-    def serve(paths: list[str]) -> None:
+    def serve(paths: list[str], *, lenient: bool = False) -> None:
         nonlocal served, degraded
-        datasets = [load_dataset(path) for path in paths]
+        datasets = []
+        for path in paths:
+            if not lenient:
+                datasets.append(load_dataset(path))
+                continue
+            try:
+                datasets.append(load_dataset(path))
+            except (OSError, ValueError, KeyError,
+                    zipfile.BadZipFile) as error:
+                # A missing, truncated or malformed dataset file must not
+                # kill the stream — report it and serve the rest.
+                print(f"  {path} -> ERROR: {error}", file=sys.stderr)
+        if not datasets:
+            return
         # The serve report's latency percentiles are the one place the CLI
         # legitimately reads the clock.
         start = time.perf_counter()  # repro: allow[REP002]
@@ -326,9 +344,12 @@ def _serve_requests(args: argparse.Namespace, advisor: AutoCE,
                                            accuracy_weight=args.weight,
                                            k=args.k)
         elapsed = time.perf_counter() - start  # repro: allow[REP002]
-        latencies.append((elapsed, any(getattr(rec, "degraded", False)
-                                       for rec in recs)))
+        # Per-request accounting: the percentiles are labeled per-request,
+        # so a coalesced batch contributes one sample per member (its even
+        # share of the batch time) with that member's own degraded flag.
+        share = elapsed / len(recs)
         for dataset, rec in zip(datasets, recs):
+            latencies.append((share, getattr(rec, "degraded", False)))
             line = f"  {dataset.name:<24} -> {rec.model}"
             if getattr(rec, "degraded", False):
                 line += f"  [degraded: coverage {rec.coverage:.2f}]"
@@ -339,14 +360,14 @@ def _serve_requests(args: argparse.Namespace, advisor: AutoCE,
     if args.daemon:
         print("daemon: reading dataset paths from stdin (one per line, "
               "EOF stops)", flush=True)
-        for raw in sys.stdin:
-            path = raw.strip()
-            if not path:
-                continue
+        batching = BatchingConfig(max_batch=args.max_batch,
+                                  window_ms=args.batch_window_ms)
+        for batch in iter_batches(sys.stdin, batching):
             try:
-                serve([path])
-            except (OSError, DegradedServiceError) as error:
-                print(f"  {path} -> ERROR: {error}", file=sys.stderr)
+                serve(batch, lenient=True)
+            except (OSError, ValueError, DegradedServiceError) as error:
+                for path in batch:
+                    print(f"  {path} -> ERROR: {error}", file=sys.stderr)
             sys.stdout.flush()
     elif server is not None:
         for path in args.datasets:
@@ -453,7 +474,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "(requires --shards)")
     p.add_argument("--daemon", action="store_true",
                    help="read dataset paths from stdin (one per line) and "
-                        "serve each until EOF")
+                        "serve each until EOF; streaming requests are "
+                        "coalesced into micro-batches (see "
+                        "--batch-window-ms / --max-batch)")
+    p.add_argument("--batch-window-ms", type=float, default=5.0,
+                   help="how long a daemon micro-batch stays open after "
+                        "its first request, waiting for more (0 = only "
+                        "already-buffered lines join; default 5)")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="largest number of daemon requests coalesced into "
+                        "one batched recommend call (default 16)")
     p.add_argument("--advisor", required=True, help="advisor .npz from 'train'")
     p.add_argument("--weight", type=float, default=1.0,
                    help="accuracy weight w_a in [0, 1]")

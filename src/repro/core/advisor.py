@@ -28,7 +28,7 @@ Three knobs grow the serving path past a single warm process:
 
 * **Approximate KNN** — once the RCS crosses ``AutoCEConfig.ann.threshold``
   members, neighbor search switches from the exact ``[Q, N]`` scan to a
-  multi-probe LSH index (:class:`~repro.core.predictor.ANNIndex`) that is
+  multi-probe LSH index (:class:`~repro.core.serving.ANNIndex`) that is
   maintained incrementally as the RCS grows.
 * **Persistent embedding cache** — both :meth:`recommend` and
   :meth:`recommend_batch` consult an LRU embedding memo-cache keyed by the
@@ -73,8 +73,8 @@ from .encoder import GINEncoder
 from .graph import DEFAULT_MAX_COLUMNS, FeatureGraph, build_feature_graph
 from .incremental import IncrementalConfig, incremental_learning
 from .online import DriftDetector, OnlineAdapter
-from .predictor import (ANNConfig, KNNPredictor, QuantizationConfig,
-                        Recommendation, RecommendationCandidateSet)
+from .serving import (ANNConfig, KNNPredictor, QuantizationConfig,
+                      Recommendation, RecommendationCandidateSet)
 
 
 @dataclass

@@ -21,8 +21,8 @@ from ..utils.rng import rng_from_seed
 from .dml import DMLTrainer
 from .encoder import GINEncoder
 from .graph import FeatureGraph
-from .predictor import (KNNPredictor, RecommendationCandidateSet,
-                        squared_distance_matrix)
+from .serving import (KNNPredictor, RecommendationCandidateSet,
+                      squared_distance_matrix)
 
 
 @dataclass

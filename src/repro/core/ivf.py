@@ -37,10 +37,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import predictor as _predictor
-from .predictor import (PQStore, QuantizationConfig, QuantizedStore,
-                        _as_float_matrix, _common_dtype,
-                        squared_distance_matrix, top_k_neighbors)
+from .serving import quantizers as _quantizers
+from .serving import (PQStore, QuantizationConfig, QuantizedStore,
+                      _as_float_matrix, _common_dtype,
+                      squared_distance_matrix, top_k_neighbors)
 
 #: Hard ceiling of the auto cell-count rule (≈√N, clipped): past this the
 #: coarse probe GEMM itself starts to rival the savings.
@@ -76,7 +76,7 @@ class IVFStore:
             if base_mode == "auto":
                 width = _as_float_matrix(embeddings).shape[1]
                 base_mode = ("int8"
-                             if width <= _predictor.INT8_EXACT_MAX_DIM
+                             if width <= _quantizers.INT8_EXACT_MAX_DIM
                              else "pq")
             store = (PQStore(embeddings, self.config) if base_mode == "pq"
                      else QuantizedStore(embeddings, self.config))
@@ -125,7 +125,7 @@ class IVFStore:
             if n > config.kmeans_sample:
                 train = emb[np.sort(
                     rng.choice(n, config.kmeans_sample, replace=False))]
-            self.centroids = _predictor.seeded_kmeans(
+            self.centroids = _quantizers.seeded_kmeans(
                 train, cells, rng, config.kmeans_iters)
             assignments = squared_distance_matrix(
                 emb, self.centroids).argmin(axis=1).astype(np.int64)

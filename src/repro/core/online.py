@@ -15,7 +15,7 @@ import numpy as np
 from ..testbed.scores import ScoreLabel
 from .dml import DMLTrainer
 from .graph import FeatureGraph
-from .predictor import RecommendationCandidateSet, squared_distance_matrix
+from .serving import RecommendationCandidateSet, squared_distance_matrix
 
 
 @dataclass

@@ -39,9 +39,9 @@ from .dml import DMLConfig, DMLTrainer
 from .encoder import GINEncoder
 from .graph import FeatureGraph
 from .incremental import IncrementalConfig
-from .predictor import (ANNConfig, CandidateStore, E2LSHConfig, PQStore,
-                        QuantizationConfig, QuantizedStore,
-                        RecommendationCandidateSet)
+from .serving import (ANNConfig, CandidateStore, E2LSHConfig, PQStore,
+                      QuantizationConfig, QuantizedStore,
+                      RecommendationCandidateSet)
 
 #: Bump on any change to the on-disk layout.  Version 2 added the optional
 #: quantizer-state block (``quant_*`` arrays + the ``"quantizer"`` metadata

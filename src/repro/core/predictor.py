@@ -1,2325 +1,49 @@
-"""KNN-based model recommendation (Sec. V-D, Eq. 13).
+"""Deprecated shim over :mod:`repro.core.serving`.
 
-The recommendation candidate set (RCS, Def. 5) holds the embeddings of all
-labeled datasets.  For a target dataset AutoCE embeds its feature graph,
-finds the k nearest labeled embeddings, averages their score vectors under
-the user's metric weights and recommends the top-scoring model.
+The predictor monolith was split along its tier boundaries into the
+``core/serving/`` package — ``kernels`` (float substrate), ``quantizers``
+(int8 / PQ candidate tiers), ``indexes`` (the LSH families behind the
+:class:`NeighborIndex` protocol), ``probe`` (the sign-hash recall probe)
+and ``store`` (the RCS + KNN predictor).  This module re-exports the full
+public surface so that
 
-Serving fast path: all pairwise distances go through the Gram-matrix
-identity ``‖a − b‖² = ‖a‖² + ‖b‖² − 2·a·b`` (no O(n²·d) broadcast tensor),
-neighbor selection uses ``argpartition`` plus a partial sort of the top-k
-instead of a full sort, and :meth:`KNNPredictor.recommend_batch` serves many
-queries against one ``[Q, N]`` distance matrix at once.
+- existing ``from repro.core.predictor import X`` call sites keep working,
+- pickled advisors saved before the split (whose classes resolve through
+  ``repro.core.predictor``) keep loading, and
+- ``seeded_kmeans`` monkeypatches land on one canonical module
+  (:mod:`repro.core.serving.quantizers`) — patch there, not here.
 
-Scale-out serving: neighbor search is abstracted behind the
-:class:`NeighborIndex` protocol.  :class:`ExactIndex` is the exhaustive
-Gram-identity search.  Two LSH families share one bucketed-index substrate
-(:class:`_BucketedLSHIndex`): :class:`ANNIndex` is a random-hyperplane
-*sign* hash with multi-probe bit flips — ideal when the corpus has
-family/cluster structure — and :class:`E2LSHIndex` is a quantized-projection
-(E2LSH-style) hash ``floor((x·w + b) / r)`` with multi-probe bucket walks,
-which keeps discriminating by *distance* on corpora without any cluster
-structure (where sign buckets degenerate and the sign hash falls back to
-the exact scan).  :func:`select_neighbor_index` — the sign-hash recall
-probe — picks between them when the RCS crosses ``ANNConfig.threshold``,
-and the RCS keeps the chosen index fresh incrementally on
-:meth:`RecommendationCandidateSet.add` / fully on
-:meth:`RecommendationCandidateSet.replace_embeddings`.
-
-All kernels are precision-tier aware: a float32 embedding matrix (the
-advisor's fast serving tier) is searched in float32 end-to-end, halving the
-memory bandwidth of the distance GEMMs.  A third, quantized tier
-accelerates the *candidate* pass — rankings survive because the DML metric
-space only needs neighbor order, not distances.  Two code layouts share
-one config (:class:`QuantizationConfig`) and one routing contract:
-:class:`QuantizedStore` keeps flat int8 codes (exact integer arithmetic up
-to ``INT8_EXACT_MAX_DIM`` dims) and :class:`PQStore` product-quantizes
-wider embeddings into per-subspace codebooks scanned with ADC lookup
-tables; :func:`select_quantizer` picks between them.  Scan-shaped searches
-(the exhaustive scan and the LSH indexes' exact fallbacks) rank the whole
-corpus in code space, the bucketed LSH indexes additionally rank their
-padded re-rank pools in code space (:meth:`_BucketedLSHIndex._narrow_pools`),
-and in every path only the top ``k · overfetch`` candidates reach the
-float-tier re-rank, so returned distances stay float-exact.
+New code should import from :mod:`repro.core.serving` (or the specific
+submodule).  REP006 pins this file as a thin shim (< 100 lines) so the
+monolith cannot silently regrow.
 """
 
-from __future__ import annotations
-
-from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
-
-import numpy as np
-
-from ..testbed.scores import ScoreLabel
-
-#: Floating dtypes preserved by the serving kernels (everything else is
-#: promoted to the float64 default).
-_FLOAT_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
-
-
-def _as_float_matrix(a: np.ndarray) -> np.ndarray:
-    """2-D float view of ``a``, keeping a float32 tier, promoting the rest."""
-    a = np.atleast_2d(np.asarray(a))
-    if a.dtype not in _FLOAT_DTYPES:
-        return a.astype(np.float64)
-    return a
-
-
-def require_finite_embeddings(embeddings: np.ndarray,
-                              context: str = "embeddings") -> None:
-    """Reject NaN/inf rows before they enter a candidate set.
-
-    One non-finite row silently poisons everything calibrated from the
-    corpus — quantizer scales collapse to NaN, LSH projections hash every
-    member to the same bucket, distance ties become unordered — so entry
-    points fail loudly instead, naming the offending rows.
-    """
-    matrix = np.atleast_2d(np.asarray(embeddings))
-    finite = np.isfinite(matrix).all(axis=1)
-    if not finite.all():
-        bad = np.flatnonzero(~finite)
-        shown = ", ".join(str(int(i)) for i in bad[:5])
-        more = f" (+{len(bad) - 5} more)" if len(bad) > 5 else ""
-        raise ValueError(
-            f"{context} contain non-finite values in row(s) {shown}{more}; "
-            "NaN/inf embeddings would poison quantizer calibration and "
-            "LSH projections")
-
-
-def _common_dtype(a: np.ndarray, b: np.ndarray) -> np.dtype:
-    """The precision tier two operands meet at (float32 only when both are)."""
-    da = a.dtype if a.dtype in _FLOAT_DTYPES else np.dtype(np.float64)
-    db = b.dtype if b.dtype in _FLOAT_DTYPES else np.dtype(np.float64)
-    return np.result_type(da, db)
-
-
-def squared_distance_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Pairwise squared Euclidean distances [Q, N] via the Gram identity.
-
-    ``‖a‖² + ‖b‖² − 2·a·b`` avoids materializing the O(Q·N·d) difference
-    tensor; numerical noise is clipped at zero.  Runs on the operands'
-    common precision tier (float32 in, float32 GEMM out).
-    """
-    dtype = _common_dtype(np.asarray(a), np.asarray(b))
-    a = np.atleast_2d(np.asarray(a, dtype=dtype))
-    b = np.atleast_2d(np.asarray(b, dtype=dtype))
-    sq = ((a * a).sum(axis=1)[:, None] + (b * b).sum(axis=1)[None, :]
-          - 2.0 * (a @ b.T))
-    return np.maximum(sq, 0.0)
-
-
-def top_k_neighbors(distances: np.ndarray, k: int) -> np.ndarray:
-    """Top-k nearest indices per row of a [Q, N] distance matrix.
-
-    ``argpartition`` selects the k candidates in O(N), then only those k are
-    sorted.  Distance ties — including ties straddling the k boundary, where
-    ``argpartition`` alone may pick an arbitrary tied member — are broken by
-    lowest index, so the result matches a full ``argsort(kind="stable")[:k]``
-    exactly.
-    """
-    distances = np.atleast_2d(distances)
-    q, n = distances.shape
-    k = min(k, n)
-    if k >= n:
-        part = np.broadcast_to(np.arange(n), (q, n))
-        order = np.lexsort((part, distances), axis=1)
-        return np.take_along_axis(np.ascontiguousarray(part), order, axis=1)
-    part = np.argpartition(distances, k - 1, axis=1)[:, :k]
-    # The k-th smallest value bounds the selection; keep everything strictly
-    # closer and fill the remainder with the lowest-index boundary ties.
-    boundary = np.take_along_axis(distances, part, axis=1).max(
-        axis=1, keepdims=True)
-    closer = distances < boundary
-    need = k - closer.sum(axis=1)
-    ties = distances == boundary
-    tie_rank = np.cumsum(ties, axis=1)
-    selected = closer | (ties & (tie_rank <= need[:, None]))
-    idx = np.nonzero(selected)[1].reshape(q, k)
-    order = np.lexsort((idx, np.take_along_axis(distances, idx, axis=1)),
-                       axis=1)
-    return np.take_along_axis(idx, order, axis=1)
-
-
-def exact_search(queries: np.ndarray, embeddings: np.ndarray,
-                 k: int) -> tuple[np.ndarray, np.ndarray]:
-    """Exhaustive k-NN: ([Q, k] indices, [Q, k] Euclidean distances)."""
-    distances = np.sqrt(squared_distance_matrix(queries, embeddings))
-    nearest = top_k_neighbors(distances, k)
-    return nearest, np.take_along_axis(distances, nearest, axis=1)
-
-
-# ----------------------------------------------------------------------
-# Quantized candidate tiers (int8 flat codes and product quantization)
-# ----------------------------------------------------------------------
-#: Widest embedding whose assembled int8 code distance (4 · d · 127²) still
-#: fits float32's 24-bit mantissa — the exactness bound of the flat int8
-#: kernel, and the dimension past which :func:`select_quantizer` switches
-#: the "auto" mode to product quantization.
-INT8_EXACT_MAX_DIM = 260
-
-
-@dataclass
-class QuantizationConfig:
-    """Parameters of the quantized candidate tiers.
-
-    Serving only needs neighbor *rankings* to survive — the DML metric space
-    (Eq. 9) is trained so that rank order, not absolute distance, carries the
-    recommendation signal — which is exactly what a low-precision candidate
-    pass exploits: scan the whole corpus in compressed codes, keep the top
-    ``k · overfetch`` candidates, and re-rank only those in the float tier.
-
-    Two code layouts share this config.  The flat int8 tier
-    (:class:`QuantizedStore`) keeps one code per dimension and is exact
-    integer arithmetic up to ``d = 260``; the product-quantization tier
-    (:class:`PQStore`) splits the dimensions into subspaces with a learned
-    codebook each, compressing wide embeddings to one byte per subspace.
-    :func:`select_quantizer` picks between them (``mode="auto"``) on the
-    int8 exactness bound.
-    """
-
-    #: Attach a quantized candidate tier to the RCS.
-    enabled: bool = False
-    #: Code layout: "auto" picks flat int8 for embeddings up to
-    #: ``INT8_EXACT_MAX_DIM`` dims and product quantization past that;
-    #: "int8" / "pq" pin one layout.
-    mode: str = "auto"
-    #: PQ: contiguous dimension subspaces (0 = auto-size ~d/128, clipped
-    #: to [4, 16]); each subspace is encoded to one uint8 codebook id.
-    #: More subspaces = finer codes but a linearly slower ADC scan.
-    num_subspaces: int = 0
-    #: PQ: centroids per subspace codebook (≤ 256 so codes stay uint8).
-    codebook_size: int = 256
-    #: PQ: Lloyd-iteration cap of the seeded k-means codebook training.
-    kmeans_iters: int = 12
-    #: PQ: codebooks train on at most this many (deterministically sampled)
-    #: corpus rows; encoding always covers the full corpus.
-    kmeans_sample: int = 4096
-    #: PQ: opt-in residual refinement — a second codebook pass over the
-    #: quantization residuals roughly halves the reconstruction error at
-    #: the cost of a second code byte per subspace and a second ADC lookup
-    #: per scan.  For recall-critical corpora whose neighbor gaps sit near
-    #: the single-pass quantization error.
-    residual: bool = False
-    #: PQ: RNG seed of the k-means++ init and the training-row sample.
-    seed: int = 0
-    #: Candidate pool per query = ``k · overfetch``; the float-tier re-rank
-    #: only sees this many members, so recall failures require the true
-    #: neighbor to be pushed past ``k · (overfetch − 1)`` impostors by
-    #: quantization error alone.
-    overfetch: int = 8
-    #: Corpora smaller than this serve the plain float scan (at those sizes
-    #: the candidate pass saves nothing worth the second top-k).
-    min_size: int = 64
-    #: Recalibrate the scale/zero-points when more than this fraction of the
-    #: rows added since the last calibration clipped at the int8 range — the
-    #: drift signal that the corpus has outgrown its calibrated envelope.
-    drift_clip_fraction: float = 0.02
-    #: A single row overshooting the calibrated range by this factor
-    #: triggers recalibration immediately (a gross outlier would otherwise
-    #: fold onto the range boundary and alias with every other boundary row).
-    drift_outlier_factor: float = 2.0
-    #: Wrap the selected store in an IVF coarse partition
-    #: (:class:`~repro.core.ivf.IVFStore`): a seeded-k-means coarse
-    #: quantizer over the corpus, per-cell contiguous code blocks, and a
-    #: probed scan touching only the ``nprobe`` nearest cells —
-    #: O(N/cells · nprobe) candidate cost instead of O(N).
-    ivf: bool = False
-    #: IVF: number of coarse cells (0 = auto, ≈ √N clipped).
-    ivf_cells: int = 0
-    #: IVF: cells probed per query.  ``nprobe ≥ cells`` degrades —
-    #: bit-for-bit — to the unpartitioned store scan.
-    nprobe: int = 8
-    #: IVF: corpora below this many members skip the probed path entirely
-    #: (the coarse GEMM + per-cell bookkeeping only pays for itself once
-    #: the full code scan is large); the unpartitioned store serves.
-    ivf_min_size: int = 1024
-
-    def __post_init__(self) -> None:
-        # Fail at configuration time, not from deep inside the RCS attach.
-        if self.mode not in ("auto", "int8", "pq"):
-            raise ValueError(
-                f"unknown quantization mode {self.mode!r}; expected one of "
-                "'auto', 'int8', 'pq'")
-        if not 1 <= self.codebook_size <= 256:
-            raise ValueError("codebook_size must be in [1, 256] "
-                             "(PQ codes are uint8)")
-        if self.ivf_cells < 0:
-            raise ValueError("ivf_cells must be >= 0 (0 = auto)")
-        if self.nprobe < 1:
-            raise ValueError("nprobe must be >= 1")
-        if self.ivf_min_size < 0:
-            raise ValueError("ivf_min_size must be >= 0")
-
-
-def quantized_distances_int32_reference(query_codes: np.ndarray,
-                                        member_codes: np.ndarray) -> np.ndarray:
-    """[Q, N] code-space squared distances with literal int32 accumulation.
-
-    The ground truth of the quantized kernel: Gram identity over int8 codes
-    with every product and partial sum carried in int32 (int8·int8 ≤ 127²
-    and a sum over ``d`` dimensions stays far below 2³¹ for any embedding
-    width the encoder produces).  The production path
-    (:meth:`QuantizedStore.code_distances`) computes the *same integers*
-    through a float32 BLAS GEMM; their exact agreement is a property test.
-    """
-    q = np.atleast_2d(query_codes).astype(np.int32)
-    m = np.atleast_2d(member_codes).astype(np.int32)
-    cross = q @ m.T
-    qn = (q * q).sum(axis=1, dtype=np.int32)
-    mn = (m * m).sum(axis=1, dtype=np.int32)
-    return qn[:, None] + mn[None, :] - 2 * cross
-
-
-def rerank_candidates(queries: np.ndarray, embeddings: np.ndarray,
-                      candidates: np.ndarray, k: int,
-                      member_norms: np.ndarray | None = None
-                      ) -> tuple[np.ndarray, np.ndarray]:
-    """Float-tier exact re-rank of per-query candidate lists.
-
-    ``candidates`` is [Q, P] member indices, ascending within each row (the
-    order the lowest-index tie-break of :func:`top_k_neighbors` relies on).
-    Shared by every quantized candidate pass — flat int8 and PQ alike — so
-    returned distances are always float-tier exact regardless of the code
-    layout that selected the pool.  ``member_norms`` optionally supplies
-    the [N] float-tier ``‖x‖²`` vector (it must have been computed from the
-    same embedding matrix, same dtype — the stores memoize it under their
-    recalibrate/add staleness contract).
-    """
-    dtype = _common_dtype(queries, embeddings)
-    queries = queries.astype(dtype, copy=False)
-    gathered = embeddings[candidates].astype(dtype, copy=False)
-    dots = (gathered @ queries[:, :, None])[:, :, 0]
-    if member_norms is not None and member_norms.dtype == dtype:
-        # The caller's precomputed ‖x‖² (bit-identical to the reductions
-        # below when the serving tier matches): skip the norm pass.
-        member_norms = member_norms[candidates]
-    elif candidates.size >= len(embeddings):
-        # One corpus-wide norm pass + a [Q, P] gather: bit-identical to the
-        # per-candidate reduction (same per-row multiply-sum order) but
-        # O(N·d) instead of O(Q·P·d) — the common case for batched serving,
-        # where the candidate pools jointly cover the corpus many times.
-        cast = np.asarray(embeddings, dtype=dtype)
-        member_norms = (cast * cast).sum(axis=1)[candidates]
-    else:
-        member_norms = (gathered * gathered).sum(axis=2)
-    query_norms = (queries * queries).sum(axis=1)
-    sq = np.maximum(member_norms + query_norms[:, None] - 2.0 * dots, 0.0)
-    # Rank the sqrt'd values, exactly as exact_search does: in float32 a
-    # near-tie distinct in squared space can collapse to one value under
-    # sqrt, and the lowest-index tie-break must see what exact_search
-    # sees or the two paths return different k-sets at the boundary.
-    distances = np.sqrt(sq)
-    local = top_k_neighbors(distances, k)
-    return (np.take_along_axis(candidates, local, axis=1),
-            np.take_along_axis(distances, local, axis=1))
-
-
-class QuantizedStore:
-    """Symmetric int8 codes of the RCS embeddings + the candidate kernel.
-
-    Layout: per-dimension zero-points (the midrange of each dimension over
-    the calibration corpus) with one shared symmetric scale.  The shared
-    scale is deliberate — it is the only int8 layout whose code-space
-    distances are *exactly proportional* to dequantized Euclidean distances
-    (``‖x̂_a − x̂_b‖² = scale² · Σ(c_a − c_b)²``; the zero-points cancel),
-    so candidate rankings in pure integer arithmetic are the dequantized
-    float rankings.  Per-dimension scales would shrink the per-dimension
-    rounding error but warp the metric into a range-whitened space, which is
-    precisely what the DML embedding geometry must not be searched in.
-
-    The distance kernel is int32-accumulated: every ``(c_a − c_b)²`` term is
-    an integer and the full Gram-identity result ``‖c_a‖² + ‖c_b‖² −
-    2·c_a·c_b`` is bounded by ``4 · d · 127² < 2²⁴`` for any ``d ≤ 260``, so
-    a float32 GEMM over the codes performs the exact integer accumulation
-    (every intermediate — cross term, norms and the assembled distance —
-    fits the 24-bit mantissa) at BLAS speed — numpy has no fast int8 GEMM.
-    Wider embeddings fall back to a float64 GEMM (exact below 2⁵³).  On top of the
-    scan, :meth:`search` keeps the ``k · overfetch`` best candidates per
-    query and re-ranks them against the live float-tier embedding matrix, so
-    returned distances are always float-tier exact.
-
-    :meth:`add` quantizes appended rows under the frozen calibration and
-    reports drift (clipped rows / gross outliers); the owner — the RCS —
-    responds by calling :meth:`recalibrate` with the live embedding matrix.
-    """
-
-    #: Code layout tag (the serving CLI and tier reports read this).
-    kind = "int8"
-
-    def __init__(self, embeddings: np.ndarray,
-                 config: QuantizationConfig | None = None) -> None:
-        self.config = config or QuantizationConfig()
-        self.scale = 1.0
-        self.zero_point: np.ndarray | None = None   # [d] float64
-        self._codes: np.ndarray | None = None       # [capacity, d] int8
-        self._codes_float: np.ndarray | None = None  # [N, d] GEMM-tier memo
-        self._norms: np.ndarray | None = None       # [capacity] ‖c‖² (float)
-        self._size = 0
-        self._gemm_dtype = np.dtype(np.float32)
-        self._added_since_calibration = 0
-        self._clipped_since_calibration = 0
-        self.recalibrate(embeddings)
-
-    def __len__(self) -> int:
-        return self._size
-
-    @property
-    def codes(self) -> np.ndarray:
-        """The live [N, d] int8 code matrix."""
-        return self._codes[:self._size]
-
-    # -- calibration ----------------------------------------------------
-    def recalibrate(self, embeddings: np.ndarray) -> None:
-        """(Re)derive scale/zero-points from the corpus and requantize it."""
-        embeddings = _as_float_matrix(embeddings)
-        n, dim = embeddings.shape
-        if n:
-            lo = embeddings.min(axis=0).astype(np.float64)
-            hi = embeddings.max(axis=0).astype(np.float64)
-        else:
-            lo = hi = np.zeros(dim, dtype=np.float64)
-        self.zero_point = (lo + hi) / 2.0
-        # Symmetric shared scale over the widest dimension; the floor keeps
-        # a constant (or single-member, or empty) corpus at all-zero codes
-        # instead of dividing by zero.
-        self.scale = max(float(np.max(hi - self.zero_point, initial=0.0)),
-                         1e-12) / 127.0
-        # The assembled distance ‖c_a‖² + ‖c_b‖² − 2·c_a·c_b reaches
-        # 4 · d · 127² and must fit the GEMM mantissa for the integer
-        # arithmetic to be exact: 24 bits buy d ≤ 260 in float32, float64
-        # covers the rest.
-        self._gemm_dtype = np.dtype(
-            np.float32 if 4 * dim * 127 * 127 < 2 ** 24 else np.float64)
-        capacity = max(4, n)
-        self._codes = np.zeros((capacity, dim), dtype=np.int8)
-        self._codes[:n] = self.quantize(embeddings)
-        self._codes_float = None
-        self._norms = np.zeros(capacity, dtype=self._gemm_dtype)
-        codes = self._codes[:n].astype(self._gemm_dtype)
-        self._norms[:n] = (codes * codes).sum(axis=1)
-        self._size = n
-        self._added_since_calibration = 0
-        self._clipped_since_calibration = 0
-
-    def quantize(self, x: np.ndarray) -> np.ndarray:
-        """Int8 codes of ``x`` under the current calibration (clipping)."""
-        raw = (np.asarray(_as_float_matrix(x), dtype=np.float64)
-               - self.zero_point) / self.scale
-        return np.clip(np.rint(raw), -127, 127).astype(np.int8)
-
-    def dequantize(self, codes: np.ndarray) -> np.ndarray:
-        """Float64 reconstruction ``zero_point + scale · codes``."""
-        return self.zero_point + self.scale * np.asarray(codes, np.float64)
-
-    # -- growth ----------------------------------------------------------
-    def add(self, embedding: np.ndarray) -> bool:
-        """Quantize one appended row; True = drift, caller must recalibrate.
-
-        Drift is either a gross outlier (the row overshoots the calibrated
-        range by ``drift_outlier_factor``) or an accumulated clip fraction
-        above ``drift_clip_fraction`` — both mean the frozen scale no longer
-        covers the corpus and code distances are degrading.
-        """
-        row = np.asarray(_as_float_matrix(embedding), np.float64).ravel()
-        raw = (row - self.zero_point) / self.scale
-        overshoot = float(np.max(np.abs(raw), initial=0.0))
-        self._added_since_calibration += 1
-        if overshoot > 127.5:
-            self._clipped_since_calibration += 1
-        if self._size == len(self._codes):
-            grown = np.zeros((2 * self._size, self._codes.shape[1]),
-                             dtype=np.int8)
-            grown[:self._size] = self._codes[:self._size]
-            self._codes = grown
-            grown_norms = np.zeros(2 * self._size, dtype=self._norms.dtype)
-            grown_norms[:self._size] = self._norms[:self._size]
-            self._norms = grown_norms
-        codes = np.clip(np.rint(raw), -127, 127).astype(np.int8)
-        self._codes[self._size] = codes
-        self._codes_float = None
-        c = codes.astype(self._gemm_dtype)
-        self._norms[self._size] = (c * c).sum()
-        self._size += 1
-        if overshoot > 127.5 * self.config.drift_outlier_factor:
-            return True
-        return (self._clipped_since_calibration
-                > self.config.drift_clip_fraction
-                * max(self._added_since_calibration, 1))
-
-    # -- the int32-accumulated candidate kernel --------------------------
-    def code_distances(self, queries: np.ndarray) -> np.ndarray:
-        """[Q, N] code-space squared distances of float-tier queries.
-
-        Exact integer arithmetic end-to-end (see the class docstring for why
-        the float32 GEMM qualifies); multiplied by ``scale²`` this is the
-        dequantized squared Euclidean distance, but candidate selection only
-        ranks, so the factor is never applied.
-
-        The GEMM-tier view of the member codes is memoized between searches
-        (dropped by :meth:`add` / :meth:`recalibrate`): a single-query
-        serving path must not pay an O(N·d) cast per call.  The memo trades
-        the steady-state footprint back up to one float copy of the codes —
-        resident-set-critical deployments can drop it after each search.
-        """
-        qcodes, query_norms = self.query_context(queries)
-        members = self._codes_gemm()
-        cross = qcodes @ members.T
-        return self._norms[:self._size][None, :] - 2.0 * cross \
-            + query_norms[:, None]
-
-    def _codes_gemm(self) -> np.ndarray:
-        """The memoized GEMM-tier view of the live member codes."""
-        if (self._codes_float is None
-                or len(self._codes_float) != self._size):
-            self._codes_float = self._codes[:self._size].astype(
-                self._gemm_dtype)
-        return self._codes_float
-
-    # -- the LSH-pool hooks ----------------------------------------------
-    def query_context(self, queries: np.ndarray
-                      ) -> tuple[np.ndarray, np.ndarray]:
-        """Per-batch query state shared by every pool/scan distance call."""
-        qcodes = self.quantize(queries).astype(self._gemm_dtype)
-        return qcodes, (qcodes * qcodes).sum(axis=1)
-
-    def pool_distances(self, context: tuple[np.ndarray, np.ndarray],
-                       rows: np.ndarray,
-                       members: np.ndarray) -> np.ndarray:
-        """[R, W] code-space distances of padded candidate pools.
-
-        ``members[i, j]`` is a member index in query ``rows[i]``'s pool (pad
-        slots included — the caller masks them afterwards).  Same exact
-        integer arithmetic as :meth:`code_distances`, run as one batched
-        GEMM over the gathered code rows, so the bucketed-LSH re-rank pools
-        select their float-tier candidates from int8 codes instead of
-        paying the full-width float GEMM.
-        """
-        qcodes, query_norms = context
-        gathered = self._codes_gemm()[members]          # [R, W, d]
-        dots = (gathered @ qcodes[rows][:, :, None])[:, :, 0]
-        return (self._norms[members] + query_norms[rows][:, None]
-                - 2.0 * dots)
-
-    def search(self, queries: np.ndarray, embeddings: np.ndarray,
-               k: int) -> tuple[np.ndarray, np.ndarray]:
-        """Quantized candidate pass + float-tier re-rank.
-
-        The int8 scan ranks the whole corpus in code space and keeps the
-        ``k · overfetch`` best candidates per query — no square roots, no
-        exact tie resolution, just one ``argpartition`` — then the float
-        tier re-ranks that pool exactly (same tie-breaking as
-        :func:`exact_search`, candidates pre-sorted by member index).
-
-        Like the bucketed LSH indexes, the store heals itself when handed
-        an embedding matrix whose length it does not recognize (full
-        recalibration); a same-length geometry change must be announced via
-        :meth:`recalibrate` — the RCS hooks do — or candidates are selected
-        from stale codes (the float re-rank still prices whatever pool
-        comes out, so staleness degrades recall, never distances).
-        """
-        embeddings = np.atleast_2d(np.asarray(embeddings))
-        queries = _as_float_matrix(queries)
-        n = len(embeddings)
-        if n != self._size:
-            self.recalibrate(embeddings)
-        k = min(k, n)
-        pool = k * max(self.config.overfetch, 1)
-        if pool >= n or n < self.config.min_size:
-            return exact_search(queries, embeddings, k)
-        code_sq = self.code_distances(queries)
-        candidates = np.argpartition(code_sq, pool - 1, axis=1)[:, :pool]
-        candidates.sort(axis=1)
-        return rerank_candidates(queries, embeddings, candidates, k)
-
-    # -- persistence ------------------------------------------------------
-    def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
-        """(arrays, JSON-able meta) capturing calibration, codes and the
-        drift-accounting counters — everything :meth:`restore` needs to
-        resurrect the store without requantizing."""
-        assert self.zero_point is not None and self._codes is not None
-        arrays = {"codes": self._codes[:self._size],
-                  "zero_point": self.zero_point}
-        meta = {"scale": self.scale,
-                "added": self._added_since_calibration,
-                "clipped": self._clipped_since_calibration}
-        return arrays, meta
-
-    @classmethod
-    def restore(cls, embeddings: np.ndarray, config: QuantizationConfig,
-                arrays: dict[str, np.ndarray],
-                meta: dict) -> "QuantizedStore":
-        """Rebuild from persisted state — no calibration pass.
-
-        The code norms are recomputed from the saved codes (bit-identical
-        to what :meth:`recalibrate` derives — same cast, same reduction);
-        everything else loads verbatim, including the drift counters, so a
-        restored node recalibrates at exactly the same future add as the
-        node that saved it.
-        """
-        store = cls.__new__(cls)
-        store.config = config
-        codes = np.asarray(arrays["codes"], dtype=np.int8)
-        n, dim = codes.shape
-        store.scale = float(meta["scale"])
-        store.zero_point = np.asarray(arrays["zero_point"],
-                                      dtype=np.float64)
-        store._gemm_dtype = np.dtype(
-            np.float32 if 4 * dim * 127 * 127 < 2 ** 24 else np.float64)
-        capacity = max(4, n)
-        store._codes = np.zeros((capacity, dim), dtype=np.int8)
-        store._codes[:n] = codes
-        store._codes_float = None
-        store._norms = np.zeros(capacity, dtype=store._gemm_dtype)
-        gemm = store._codes[:n].astype(store._gemm_dtype)
-        store._norms[:n] = (gemm * gemm).sum(axis=1)
-        store._size = n
-        store._added_since_calibration = int(meta["added"])
-        store._clipped_since_calibration = int(meta["clipped"])
-        return store
-
-
-# ----------------------------------------------------------------------
-# Product-quantization tier (wide embeddings)
-# ----------------------------------------------------------------------
-def seeded_kmeans(x: np.ndarray, k: int, rng: np.random.Generator,
-                  iters: int) -> np.ndarray:
-    """Deterministic k-means: k-means++ init from ``rng``, capped Lloyd.
-
-    Every source of randomness flows through the caller's generator (the
-    advisor RNG), every tie — centroid assignment, duplicate rows — breaks
-    by lowest index, and the scatter-update runs through ``np.add.at``
-    (sequential, order-stable), so identical inputs and seed produce
-    bit-identical codebooks on every run: the property the CI determinism
-    job pins.  When the corpus has fewer distinct rows than ``k`` the
-    k-means++ pass runs out of mass (all distances zero) and the remaining
-    centroids duplicate the first — assignments still resolve
-    deterministically to the lowest centroid index.
-    """
-    n = len(x)
-    k = max(1, min(k, n))
-    centroids = np.empty((k, x.shape[1]), dtype=np.float64)
-    centroids[0] = x[int(rng.integers(n))]
-    d2 = squared_distance_matrix(x, centroids[:1])[:, 0]
-    for j in range(1, k):
-        total = float(d2.sum())
-        if total <= 0.0:
-            centroids[j:] = centroids[0]
-            break
-        choice = int(rng.choice(n, p=d2 / total))
-        centroids[j] = x[choice]
-        d2 = np.minimum(d2,
-                        squared_distance_matrix(x, centroids[j:j + 1])[:, 0])
-    for _ in range(iters):
-        assign = squared_distance_matrix(x, centroids).argmin(axis=1)
-        counts = np.bincount(assign, minlength=k)
-        sums = np.zeros_like(centroids)
-        np.add.at(sums, assign, x)
-        # Empty clusters keep their previous centroid (no random respawn —
-        # determinism beats marginally better codebook utilization here).
-        updated = np.where(counts[:, None] > 0,
-                           sums / np.maximum(counts, 1)[:, None], centroids)
-        if np.array_equal(updated, centroids):
-            break
-        centroids = updated
-    return centroids
-
-
-class PQStore:
-    """Product-quantization codes of wide RCS embeddings + the ADC kernel.
-
-    The flat int8 tier stops being attractive past ``INT8_EXACT_MAX_DIM``
-    dims: its code distances lose int32 exactness (falling back to a
-    float64 GEMM that costs as much as the float tier it was supposed to
-    undercut) and one code byte per dimension stops compressing anything.
-    Product quantization instead splits the ``d`` dimensions into
-    ``num_subspaces`` contiguous subspaces, trains one ``codebook_size``-
-    centroid codebook per subspace with :func:`seeded_kmeans`, and encodes
-    every member as one uint8 centroid id per subspace — d floats become
-    ``num_subspaces`` bytes.
-
-    Scanning is asymmetric-distance computation (ADC): per query batch one
-    lookup table of ``−2 · q_m · c_{m,j}`` per subspace is computed once
-    (a [Q, K] GEMM against each codebook), and a member's approximate
-    distance is its precomputed reconstruction norm plus ``num_subspaces``
-    table gathers — no per-member inner products at all, which is the whole
-    speedup at d = 512.  The ADC values are rank-only surrogates: they omit
-    the per-query ``‖q‖²`` constant (it cannot reorder one query's
-    candidates) and may be slightly negative; the top ``k · overfetch``
-    candidates are re-ranked exactly in the float tier
-    (:func:`rerank_candidates`), so returned distances are float-exact,
-    just as in the int8 tier.
-
-    ``residual=True`` adds a second codebook pass over the quantization
-    residuals (``x − x̂``): reconstruction error roughly halves, at one
-    more code byte and one more ADC gather per subspace — the opt-in knob
-    for recall-critical corpora.
-
-    :meth:`add` encodes appended rows under the frozen codebooks and
-    reports drift through the reconstruction error: a row whose error
-    overshoots the calibration-time maximum by ``drift_outlier_factor``
-    (or an accumulated fraction of above-maximum rows past
-    ``drift_clip_fraction``) means the frozen codebooks no longer cover
-    the corpus geometry, and the owner — the RCS — recalibrates.
-    """
-
-    #: Code layout tag (the serving CLI and tier reports read this).
-    kind = "pq"
-
-    def __init__(self, embeddings: np.ndarray,
-                 config: QuantizationConfig | None = None) -> None:
-        self.config = config or QuantizationConfig()
-        self._splits: list[slice] = []
-        self._codebooks: list[np.ndarray] = []           # M × [K, d_m]
-        self._residual_codebooks: list[np.ndarray] = []
-        self._codebook_k = 0
-        self._num_subspaces = 0
-        self._codes: np.ndarray | None = None            # [capacity, M] uint8
-        self._residual_codes: np.ndarray | None = None
-        self._gather_codes: list[np.ndarray] | None = None  # [M, N] int64 memo
-        self._recon_norms: np.ndarray | None = None      # [capacity] ‖x̂‖²
-        self._member_norms: np.ndarray | None = None     # [capacity] ‖x‖² (float tier)
-        #: Per-codebook [K] centroid norms, folded into the ADC tables so
-        #: the plain-PQ scan needs no per-member norm pass at all (the
-        #: subspaces are disjoint, so ‖x̂‖² = Σ_m ‖c_m‖²).
-        self._centroid_norms: list[list[np.ndarray]] = []
-        #: Residual mode only: the per-member cross term ``2 Σ_m c1_m·c2_m``
-        #: the folded tables cannot carry ([capacity] float32; None = plain).
-        self._scan_bias: np.ndarray | None = None
-        self._size = 0
-        self._err_scale = 0.0
-        self._added_since_calibration = 0
-        self._high_error_since_calibration = 0
-        self.recalibrate(embeddings)
-
-    def __len__(self) -> int:
-        return self._size
-
-    @property
-    def codes(self) -> np.ndarray:
-        """The live [N, M] uint8 code matrix (first-pass codebook ids)."""
-        return self._codes[:self._size]
-
-    @property
-    def codebooks(self) -> list[np.ndarray]:
-        """The per-subspace [K, d_m] centroid matrices."""
-        return self._codebooks
-
-    @property
-    def num_subspaces(self) -> int:
-        return self._num_subspaces
-
-    # -- calibration ----------------------------------------------------
-    def recalibrate(self, embeddings: np.ndarray) -> None:
-        """(Re)train the codebooks from the corpus and re-encode it."""
-        raw = _as_float_matrix(embeddings)
-        # Float-tier member norms for the re-rank, computed on the corpus'
-        # own serving tier *before* the float64 cast the codebook math
-        # runs on — bit-identical to what the re-rank would recompute.
-        member_norms = (raw * raw).sum(axis=1)
-        embeddings = np.asarray(raw, dtype=np.float64)
-        n, dim = embeddings.shape
-        config = self.config
-        m = config.num_subspaces
-        if m <= 0:
-            # The subspace count IS the scan cost: every member costs one
-            # table gather per subspace, so the ADC pass only beats the
-            # float GEMM when m stays far below d.  ~128 dims per subspace
-            # keeps the d = 512 scan ≥ 2× the exact float32 scan (the
-            # pq_search bench); corpora whose neighbor gaps sit near the
-            # coarser reconstruction error can buy fidelity back with
-            # ``residual=True`` (or an explicit ``num_subspaces``) instead
-            # of paying gathers on every query.
-            m = int(np.clip(dim // 128, 4, 16))
-        m = max(1, min(m, max(dim, 1)))
-        bounds = np.linspace(0, dim, m + 1).astype(np.int64)
-        self._splits = [slice(int(bounds[i]), int(bounds[i + 1]))
-                        for i in range(m)]
-        self._num_subspaces = m
-        rng = np.random.default_rng(config.seed)
-        train = embeddings
-        if n > config.kmeans_sample:
-            train = embeddings[np.sort(
-                rng.choice(n, config.kmeans_sample, replace=False))]
-        self._codebook_k = max(1, min(config.codebook_size,
-                                      max(len(train), 1)))
-        self._codebooks = [
-            seeded_kmeans(train[:, sl], self._codebook_k, rng,
-                          config.kmeans_iters)
-            if len(train) else np.zeros((1, sl.stop - sl.start),
-                                        dtype=np.float64)
-            for sl in self._splits
-        ]
-        self._codebook_k = len(self._codebooks[0])
-        self._residual_codebooks = []
-        if config.residual and len(train):
-            train_recon = self._encode_with(train, self._codebooks)[1]
-            residuals = train - train_recon
-            self._residual_codebooks = [
-                seeded_kmeans(residuals[:, sl], self._codebook_k, rng,
-                              config.kmeans_iters)
-                for sl in self._splits
-            ]
-        self._centroid_norms = [
-            [(book * book).sum(axis=1) for book in books]
-            for books in ([self._codebooks, self._residual_codebooks]
-                          if self._residual_codebooks else [self._codebooks])
-        ]
-        codes, residual_codes, recon = self._encode(embeddings)
-        capacity = max(4, n)
-        self._codes = np.zeros((capacity, m), dtype=np.uint8)
-        self._codes[:n] = codes
-        self._residual_codes = None
-        self._scan_bias = None
-        if self._residual_codebooks:
-            self._residual_codes = np.zeros((capacity, m), dtype=np.uint8)
-            self._residual_codes[:n] = residual_codes
-            self._scan_bias = np.zeros(capacity, dtype=np.float32)
-        self._member_norms = np.zeros(capacity, dtype=member_norms.dtype)
-        self._member_norms[:n] = member_norms
-        self._recon_norms = np.zeros(capacity, dtype=np.float32)
-        self._recon_norms[:n] = (recon * recon).sum(axis=1)
-        if self._scan_bias is not None:
-            self._scan_bias[:n] = self._recon_norms[:n] - self._fold_norms(
-                codes, residual_codes)
-        self._gather_codes = None
-        self._size = n
-        # Drift reference: the worst reconstruction error the calibration
-        # itself produced (floored against a perfectly reconstructed tiny
-        # corpus, where any genuinely new row warrants a cheap recalibrate).
-        err = np.sqrt(np.maximum(((embeddings - recon) ** 2).sum(axis=1),
-                                 0.0))
-        floor = 1e-9 * max(float(np.abs(embeddings).max()) if n else 0.0, 1.0)
-        self._err_scale = max(float(err.max()) if n else 0.0, floor)
-        self._added_since_calibration = 0
-        self._high_error_since_calibration = 0
-
-    def _fold_norms(self, codes: np.ndarray,
-                    residual_codes: np.ndarray | None) -> np.ndarray:
-        """Σ_m ‖c_m‖² over every codebook pass — what the folded ADC tables
-        already account for per member."""
-        folded = np.zeros(len(codes), dtype=np.float64)
-        for pass_norms, pass_codes in zip(
-                self._centroid_norms,
-                [codes] + ([residual_codes]
-                           if residual_codes is not None else [])):
-            for i in range(self._num_subspaces):
-                folded += pass_norms[i][pass_codes[:, i].astype(np.int64)]
-        return folded.astype(np.float32)
-
-    def _encode_with(self, x: np.ndarray, codebooks: list[np.ndarray]
-                     ) -> tuple[np.ndarray, np.ndarray]:
-        """([n, M] uint8 codes, [n, d] reconstruction) under ``codebooks``."""
-        codes = np.empty((len(x), self._num_subspaces), dtype=np.uint8)
-        recon = np.empty_like(x)
-        for i, sl in enumerate(self._splits):
-            assign = squared_distance_matrix(
-                x[:, sl], codebooks[i]).argmin(axis=1)
-            codes[:, i] = assign
-            recon[:, sl] = codebooks[i][assign]
-        return codes, recon
-
-    def _encode(self, x: np.ndarray
-                ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray]:
-        """Full encode: first-pass codes, residual codes (opt-in), recon."""
-        codes, recon = self._encode_with(x, self._codebooks)
-        residual_codes = None
-        if self._residual_codebooks:
-            residual_codes, residual_recon = self._encode_with(
-                x - recon, self._residual_codebooks)
-            recon = recon + residual_recon
-        return codes, residual_codes, recon
-
-    def reconstruct(self) -> np.ndarray:
-        """Float64 reconstruction of the live corpus from its codes."""
-        recon = np.empty((self._size, self._splits[-1].stop),
-                         dtype=np.float64)
-        for i, sl in enumerate(self._splits):
-            recon[:, sl] = self._codebooks[i][
-                self._codes[:self._size, i].astype(np.int64)]
-            if self._residual_codes is not None:
-                recon[:, sl] += self._residual_codebooks[i][
-                    self._residual_codes[:self._size, i].astype(np.int64)]
-        return recon
-
-    # -- growth ----------------------------------------------------------
-    def add(self, embedding: np.ndarray) -> bool:
-        """Encode one appended row; True = drift, caller must recalibrate."""
-        raw = _as_float_matrix(embedding).reshape(1, -1)
-        row = np.asarray(raw, dtype=np.float64)
-        codes, residual_codes, recon = self._encode(row)
-        err = float(np.sqrt(max(((row - recon) ** 2).sum(), 0.0)))
-        self._added_since_calibration += 1
-        if err > self._err_scale:
-            self._high_error_since_calibration += 1
-        if self._size == len(self._codes):
-            grown = np.zeros((2 * self._size, self._num_subspaces),
-                             dtype=np.uint8)
-            grown[:self._size] = self._codes[:self._size]
-            self._codes = grown
-            if self._residual_codes is not None:
-                grown = np.zeros((2 * self._size, self._num_subspaces),
-                                 dtype=np.uint8)
-                grown[:self._size] = self._residual_codes[:self._size]
-                self._residual_codes = grown
-            grown_norms = np.zeros(2 * self._size, dtype=np.float32)
-            grown_norms[:self._size] = self._recon_norms[:self._size]
-            self._recon_norms = grown_norms
-            grown_member = np.zeros(2 * self._size,
-                                    dtype=self._member_norms.dtype)
-            grown_member[:self._size] = self._member_norms[:self._size]
-            self._member_norms = grown_member
-            if self._scan_bias is not None:
-                grown_bias = np.zeros(2 * self._size, dtype=np.float32)
-                grown_bias[:self._size] = self._scan_bias[:self._size]
-                self._scan_bias = grown_bias
-        self._codes[self._size] = codes[0]
-        if self._residual_codes is not None:
-            self._residual_codes[self._size] = residual_codes[0]
-        self._recon_norms[self._size] = (recon * recon).sum()
-        # Norm of the row as the RCS stores it (the corpus tier), so the
-        # memo stays bit-identical to a recomputation from the live matrix.
-        row_tier = np.asarray(raw[0], dtype=self._member_norms.dtype)
-        self._member_norms[self._size] = (row_tier * row_tier).sum()
-        if self._scan_bias is not None:
-            self._scan_bias[self._size] = (
-                self._recon_norms[self._size]
-                - self._fold_norms(codes, residual_codes)[0])
-        self._gather_codes = None
-        self._size += 1
-        config = self.config
-        if err > self._err_scale * config.drift_outlier_factor:
-            return True
-        return (self._high_error_since_calibration
-                > config.drift_clip_fraction
-                * max(self._added_since_calibration, 1))
-
-    # -- the ADC kernel ---------------------------------------------------
-    def query_context(self, queries: np.ndarray) -> list[np.ndarray]:
-        """The per-batch ADC lookup tables, computed once per query batch.
-
-        One [M, Q, K] float32 table per codebook pass holding
-        ``‖c_{m,j}‖² − 2 · q_m · c_{m,j}`` — the centroid norms are folded
-        in because the subspaces are disjoint (``‖x̂‖² = Σ_m ‖c_m‖²``), so
-        a member's rank surrogate is just M table gathers (2M plus the
-        per-member cross-term bias with residuals) and the scan never
-        touches a per-member norm array.
-        """
-        q = np.asarray(_as_float_matrix(queries), dtype=np.float64)
-        tables = [self._adc_table(q, self._codebooks,
-                                  self._centroid_norms[0])]
-        if self._residual_codebooks:
-            tables.append(self._adc_table(q, self._residual_codebooks,
-                                          self._centroid_norms[1]))
-        return tables
-
-    def _adc_table(self, q: np.ndarray, codebooks: list[np.ndarray],
-                   centroid_norms: list[np.ndarray]) -> np.ndarray:
-        table = np.empty((self._num_subspaces, len(q), self._codebook_k),
-                         dtype=np.float32)
-        for i, sl in enumerate(self._splits):
-            table[i] = centroid_norms[i][None, :] - 2.0 * (q[:, sl]
-                                                           @ codebooks[i].T)
-        return table
-
-    def _scan_codes(self) -> list[np.ndarray]:
-        """Memoized [M, N] int64 transposed code rows for the ADC scan.
-
-        ``np.take`` with a contiguous int64 index row runs ~2× faster than
-        with a strided uint8 column view, and the transposition is paid
-        once per corpus change (dropped by :meth:`add` /
-        :meth:`recalibrate`) instead of once per scan chunk.
-        """
-        if (self._gather_codes is None
-                or self._gather_codes[0].shape[1] != self._size):
-            sets = [self._codes[:self._size]]
-            if self._residual_codes is not None:
-                sets.append(self._residual_codes[:self._size])
-            self._gather_codes = [
-                np.ascontiguousarray(codes.T.astype(np.int64))
-                for codes in sets
-            ]
-        return self._gather_codes
-
-    def _accumulate_block(self, context: list[np.ndarray],
-                          code_sets: list[np.ndarray], start: int,
-                          stop: int) -> np.ndarray:
-        """One [Q, stop−start] ADC block: bias (residual cross term) or a
-        first-table fast path, plus the remaining table gathers.  The single
-        accumulation kernel behind both the materialized scan
-        (:meth:`adc_distances`) and the chunk-local selection
-        (:meth:`_scan_select`)."""
-        if self._scan_bias is not None:
-            block = np.broadcast_to(
-                self._scan_bias[start:stop],
-                (context[0].shape[1], stop - start)).copy()
-            first = 0
-        else:
-            block = np.take(context[0][0], code_sets[0][0][start:stop],
-                            axis=1)
-            first = 1
-        for pass_id, (table, codes) in enumerate(zip(context, code_sets)):
-            lo = first if pass_id == 0 else 0
-            for i in range(lo, self._num_subspaces):
-                block += np.take(table[i], codes[i][start:stop], axis=1)
-        return block
-
-    def adc_distances(self, queries: np.ndarray) -> np.ndarray:
-        """[Q, N] ADC rank surrogates of the whole corpus.
-
-        Chunked over members so the [Q, chunk] accumulator stays cache-
-        resident across the M (or 2M) gather passes instead of streaming a
-        [Q, N] matrix through memory per subspace.
-        """
-        context = self.query_context(queries)
-        num_queries = context[0].shape[1]
-        n = self._size
-        out = np.empty((num_queries, n), dtype=np.float32)
-        code_sets = self._scan_codes()
-        step = int(max(256, (1 << 21) // max(num_queries, 1)))
-        for start in range(0, n, step):
-            stop = min(start + step, n)
-            out[:, start:stop] = self._accumulate_block(context, code_sets,
-                                                        start, stop)
-        return out
-
-    def pool_distances(self, context: list[np.ndarray], rows: np.ndarray,
-                       members: np.ndarray) -> np.ndarray:
-        """[R, W] ADC rank surrogates of padded candidate pools.
-
-        Same contract as :meth:`QuantizedStore.pool_distances`: pad slots
-        come back with real values and the caller masks them, so the
-        bucketed-LSH pools select their float-tier candidates from PQ codes
-        without any per-member inner products.
-        """
-        if self._scan_bias is not None:
-            acc = self._scan_bias[members].astype(np.float32, copy=True)
-        else:
-            acc = np.zeros(members.shape, dtype=np.float32)
-        code_sets = [self._codes]
-        if self._residual_codes is not None:
-            code_sets.append(self._residual_codes)
-        for table, codes in zip(context, code_sets):
-            gathered = codes[members].astype(np.int64)       # [R, W, M]
-            sub = table[:, rows]          # one [M, R, K] row-gather per pass
-            for i in range(self._num_subspaces):
-                acc += np.take_along_axis(sub[i], gathered[:, :, i], axis=1)
-        return acc
-
-    def _scan_select(self, queries: np.ndarray, pool: int) -> np.ndarray:
-        """[Q, pool] ADC-best member indices, selected chunk-locally.
-
-        Equivalent to ``argpartition(adc_distances(q), pool)`` but the
-        partial top-``pool`` of each member chunk is taken while the just-
-        computed ADC block is still cache-resident, and only the per-chunk
-        survivors meet in the final (tiny) partition — the full [Q, N]
-        surrogate matrix is never materialized or re-read cold.
-        """
-        context = self.query_context(queries)
-        num_queries = context[0].shape[1]
-        n = self._size
-        code_sets = self._scan_codes()
-        step = int(max(2 * pool, (1 << 21) // max(num_queries, 1)))
-        best_vals: list[np.ndarray] = []
-        best_idx: list[np.ndarray] = []
-        for start in range(0, n, step):
-            stop = min(start + step, n)
-            block = self._accumulate_block(context, code_sets, start, stop)
-            if pool < stop - start:
-                local = np.argpartition(block, pool - 1, axis=1)[:, :pool]
-                best_vals.append(np.take_along_axis(block, local, axis=1))
-                best_idx.append(local + start)
-            else:
-                best_vals.append(block)
-                best_idx.append(np.broadcast_to(np.arange(start, stop),
-                                                block.shape))
-        vals = np.concatenate(best_vals, axis=1)
-        idx = np.concatenate(best_idx, axis=1)
-        if pool < vals.shape[1]:
-            final = np.argpartition(vals, pool - 1, axis=1)[:, :pool]
-            idx = np.take_along_axis(idx, final, axis=1)
-        return idx
-
-    def search(self, queries: np.ndarray, embeddings: np.ndarray,
-               k: int) -> tuple[np.ndarray, np.ndarray]:
-        """ADC candidate pass + float-tier re-rank.
-
-        Mirrors :meth:`QuantizedStore.search` including the overfetch edge:
-        a pool of ``k · overfetch ≥ N`` candidates selects the whole corpus
-        anyway, so the scan degrades to the plain float search (no
-        duplicate or missing candidates), and a corpus below ``min_size``
-        never pays the ADC table build.  The store heals itself when handed
-        an embedding matrix whose length it does not recognize.
-        """
-        embeddings = np.atleast_2d(np.asarray(embeddings))
-        queries = _as_float_matrix(queries)
-        n = len(embeddings)
-        if n != self._size:
-            self.recalibrate(embeddings)
-        k = min(k, n)
-        pool = k * max(self.config.overfetch, 1)
-        if pool >= n or n < self.config.min_size:
-            return exact_search(queries, embeddings, k)
-        candidates = self._scan_select(queries, pool)
-        candidates.sort(axis=1)
-        return rerank_candidates(queries, embeddings, candidates, k,
-                                 member_norms=self._member_norms[:n])
-
-    # -- persistence ------------------------------------------------------
-    def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
-        """(arrays, JSON-able meta) capturing codebooks, codes, the
-        reconstruction norms and the drift counters."""
-        assert self._codes is not None and self._recon_norms is not None
-        arrays: dict[str, np.ndarray] = {
-            "codes": self._codes[:self._size],
-            "recon_norms": self._recon_norms[:self._size],
-        }
-        for i, book in enumerate(self._codebooks):
-            arrays[f"codebook_{i}"] = book
-        if self._residual_codes is not None:
-            arrays["residual_codes"] = self._residual_codes[:self._size]
-            for i, book in enumerate(self._residual_codebooks):
-                arrays[f"residual_codebook_{i}"] = book
-        meta = {"err_scale": self._err_scale,
-                "added": self._added_since_calibration,
-                "high_error": self._high_error_since_calibration,
-                "num_subspaces": self._num_subspaces}
-        return arrays, meta
-
-    @classmethod
-    def restore(cls, embeddings: np.ndarray, config: QuantizationConfig,
-                arrays: dict[str, np.ndarray], meta: dict) -> "PQStore":
-        """Rebuild from persisted state — **zero** k-means calls.
-
-        Codebooks, codes and reconstruction norms load verbatim; the
-        float-tier member norms are recomputed from the live corpus (the
-        same reduction :meth:`recalibrate` runs, bit-identical), the
-        centroid-norm fold and the residual scan bias are re-derived from
-        the loaded codebooks (cheap, deterministic), and the drift
-        counters resume exactly where the saving node left them.
-        """
-        store = cls.__new__(cls)
-        store.config = config
-        codes = np.asarray(arrays["codes"], dtype=np.uint8)
-        n, m = codes.shape
-        raw = _as_float_matrix(embeddings)
-        member_norms = (raw * raw).sum(axis=1)
-        dim = raw.shape[1]
-        bounds = np.linspace(0, dim, m + 1).astype(np.int64)
-        store._splits = [slice(int(bounds[i]), int(bounds[i + 1]))
-                        for i in range(m)]
-        store._num_subspaces = m
-        store._codebooks = [
-            np.asarray(arrays[f"codebook_{i}"], dtype=np.float64)
-            for i in range(m)]
-        store._codebook_k = len(store._codebooks[0])
-        store._residual_codebooks = []
-        residual_codes = None
-        if "residual_codes" in arrays:
-            residual_codes = np.asarray(arrays["residual_codes"],
-                                        dtype=np.uint8)
-            store._residual_codebooks = [
-                np.asarray(arrays[f"residual_codebook_{i}"],
-                           dtype=np.float64)
-                for i in range(m)]
-        store._centroid_norms = [
-            [(book * book).sum(axis=1) for book in books]
-            for books in ([store._codebooks, store._residual_codebooks]
-                          if store._residual_codebooks
-                          else [store._codebooks])
-        ]
-        capacity = max(4, n)
-        store._codes = np.zeros((capacity, m), dtype=np.uint8)
-        store._codes[:n] = codes
-        store._residual_codes = None
-        store._scan_bias = None
-        if residual_codes is not None:
-            store._residual_codes = np.zeros((capacity, m), dtype=np.uint8)
-            store._residual_codes[:n] = residual_codes
-            store._scan_bias = np.zeros(capacity, dtype=np.float32)
-        store._member_norms = np.zeros(capacity, dtype=member_norms.dtype)
-        store._member_norms[:n] = member_norms
-        store._recon_norms = np.zeros(capacity, dtype=np.float32)
-        store._recon_norms[:n] = np.asarray(arrays["recon_norms"],
-                                            dtype=np.float32)
-        if store._scan_bias is not None:
-            store._scan_bias[:n] = store._recon_norms[:n] - store._fold_norms(
-                codes, residual_codes)
-        store._gather_codes = None
-        store._size = n
-        store._err_scale = float(meta["err_scale"])
-        store._added_since_calibration = int(meta["added"])
-        store._high_error_since_calibration = int(meta["high_error"])
-        return store
-
-
-if TYPE_CHECKING:
-    from .ivf import IVFStore
-
-    #: Any quantized candidate tier; everything downstream of
-    #: :func:`select_quantizer` is layout-agnostic (``candidate_scan``,
-    #: the LSH pool narrowing, the RCS requantization hooks).
-    CandidateStore = QuantizedStore | PQStore | IVFStore
-else:
-    # Runtime alias kept import-cycle-free: core.ivf imports this module,
-    # so the IVF member only joins the union under TYPE_CHECKING and
-    # select_quantizer imports it locally.
-    CandidateStore = QuantizedStore | PQStore
-
-
-def select_quantizer(embeddings: np.ndarray,
-                     config: QuantizationConfig) -> "CandidateStore":
-    """Build the candidate tier a corpus' width calls for.
-
-    ``mode="auto"`` picks flat int8 up to ``INT8_EXACT_MAX_DIM`` dims —
-    where its code distances are exact integer arithmetic in a float32
-    GEMM — and product quantization past that, where flat int8 loses both
-    its exactness bound and its compression ratio.  "int8" / "pq" pin a
-    layout regardless of width.  ``ivf=True`` wraps the chosen flat store
-    in an :class:`~repro.core.ivf.IVFStore` coarse partition, which probes
-    only the ``nprobe`` nearest cells per query and delegates back to the
-    flat scan whenever the partition can't beat it (small corpus,
-    ``nprobe >= cells``).
-    """
-    embeddings = _as_float_matrix(embeddings)
-    mode = config.mode
-    if mode == "auto":
-        mode = ("int8" if embeddings.shape[1] <= INT8_EXACT_MAX_DIM
-                else "pq")
-    base: QuantizedStore | PQStore
-    if mode == "pq":
-        base = PQStore(embeddings, config)
-    else:
-        base = QuantizedStore(embeddings, config)
-    if config.ivf:
-        from .ivf import IVFStore
-        return IVFStore(embeddings, config, store=base)
-    return base
-
-
-def candidate_scan(queries: np.ndarray, embeddings: np.ndarray, k: int,
-                   store: "CandidateStore | None" = None
-                   ) -> tuple[np.ndarray, np.ndarray]:
-    """Corpus scan at the best attached precision: quantized candidates
-    (int8 codes or PQ ADC) when a size-synced store is available, float
-    otherwise.  With ``k · overfetch`` covering the whole corpus both
-    stores degrade to the plain float scan — same indices, same distances,
-    no duplicate or missing candidates."""
-    if store is not None and len(store) == len(embeddings):
-        return store.search(queries, embeddings, k)
-    return exact_search(queries, embeddings, k)
-
-
-@runtime_checkable
-class NeighborIndex(Protocol):
-    """Shared protocol of the exact and approximate serving indexes.
-
-    ``embeddings`` in :meth:`search` is always the *live* RCS matrix — the
-    index only accelerates candidate selection and re-ranks against the
-    source of truth, so it never has to copy (or risk serving stale copies
-    of) the embedding rows themselves.
-    """
-
-    def rebuild(self, embeddings: np.ndarray) -> None:
-        """(Re)index the full [N, d] embedding matrix."""
-
-    def add(self, embedding: np.ndarray) -> None:
-        """Index one appended row without re-hashing the existing corpus."""
-
-    def search(self, queries: np.ndarray, embeddings: np.ndarray,
-               k: int, *, store: "CandidateStore | None" = None
-               ) -> tuple[np.ndarray, np.ndarray]:
-        """([Q, k] neighbor indices, [Q, k] Euclidean distances).
-
-        ``store`` optionally provides a quantized candidate tier (flat
-        int8 codes or PQ): scan-shaped passes (the exhaustive search and
-        the LSH indexes' exact fallbacks) run their candidate selection
-        over the codes, and the bucketed LSH indexes additionally rank
-        their padded re-rank pools in code space — all re-ranked in the
-        float tier.
-        """
-
-
-class ExactIndex:
-    """The exhaustive Gram-identity search behind the index protocol."""
-
-    def rebuild(self, embeddings: np.ndarray) -> None:
-        pass
-
-    def add(self, embedding: np.ndarray) -> None:
-        pass
-
-    def search(self, queries: np.ndarray, embeddings: np.ndarray,
-               k: int, *, store: CandidateStore | None = None
-               ) -> tuple[np.ndarray, np.ndarray]:
-        return candidate_scan(queries, embeddings, k, store)
-
-
-@dataclass
-class E2LSHConfig:
-    """Quantized-projection (E2LSH-style) hash parameters.
-
-    Each of ``num_tables`` tables hashes an embedding to the integer lattice
-    cell of ``num_projections`` quantized projections ``floor((x·w + b)/r)``.
-    Unlike the sign hash, the bucket id changes with *distance along* each
-    projection, not just its sign, so corpora without family/cluster
-    structure (uniform clouds, shells, low-intrinsic-dimension manifolds)
-    still spread over distance-coherent buckets.
-    """
-
-    #: Independent hash tables; more tables = higher recall, more probes.
-    #: Each table sits on its own rung of the radius ladder (see ``radius``).
-    num_tables: int = 10
-    #: Quantized projections per table; 0 = auto-size from the corpus size
-    #: at rebuild time.
-    num_projections: int = 0
-    #: Quantization width r; 0 = calibrate a per-table radius *ladder* from
-    #: the corpus at rebuild time: table t's radius is ``radius_scale``
-    #: times the t-th percentile of the sampled members' k-NN distances.
-    #: Embedding clouds whose local neighbor scale varies across the corpus
-    #: (e.g. sum-pooled GIN embeddings, where scale grows with the radial
-    #: coordinate) then always have some rungs quantizing at the right
-    #: granularity; a corpus with one global scale gets ~equal rungs and
-    #: the ladder degenerates to the textbook single radius.
-    radius: float = 0.0
-    #: Multiplier applied to the sampled k-NN distance scale(s).
-    radius_scale: float = 2.4
-    #: Members sampled (and the k used) for the radius calibration probe.
-    calibration_sample: int = 256
-    calibration_k: int = 5
-    #: Extra buckets walked per table and query: single lattice steps along
-    #: the coordinates whose cell boundary is nearest (the query-directed
-    #: multi-probe heuristic of Lv et al., restricted to ±1 perturbations);
-    #: values beyond 2·num_projections extend the walk with the cheapest
-    #: two-coordinate combinations.
-    num_probes: int = 16
-    #: Buckets larger than this contribute no candidates (0 = no cap): an
-    #: oversized bucket is a mismatched ladder rung quantizing too coarsely
-    #: for this query's neighborhood and would flood the re-rank pool.
-    bucket_cap: int = 128
-    #: Pool-size guard rails shared with the sign hash: too-sparse pools
-    #: fall back to exact search, too-dense pools (no locality to exploit,
-    #: e.g. a degenerate all-identical corpus) likewise (0 = never).
-    min_candidates: int = 16
-    max_candidates: int = 2048
-    seed: int = 0
-
-
-@dataclass
-class ANNConfig:
-    """Random-hyperplane LSH parameters for the approximate serving index."""
-
-    #: RCS size at which the advisor switches from exact to ANN search
-    #: (0 disables ANN entirely).
-    threshold: int = 1024
-    #: Independent hash tables; more tables = higher recall, more probes.
-    num_tables: int = 8
-    #: Hyperplanes (signature bits) per table; 0 = auto-size from the
-    #: indexed corpus size at rebuild time.
-    num_bits: int = 0
-    #: Extra buckets probed per table, flipping the signature bits whose
-    #: projection margin is smallest (the classic multi-probe heuristic).
-    num_probes: int = 4
-    #: Queries whose probed candidate pool is smaller than this fall back to
-    #: the exact search — the recall safety net for sparse bucket regions.
-    min_candidates: int = 16
-    #: Queries whose probed candidate pool exceeds this also fall back to
-    #: the exact scan: a pool that large means the hash sees no locality to
-    #: exploit, and one dense query must not widen the whole batch's padded
-    #: re-rank matrix (0 = never).
-    max_candidates: int = 1024
-    #: Per-bucket candidate cap shared with the E2LSH index (0 = no cap,
-    #: the sign hash's historical behavior: oversized buckets flow into the
-    #: pool and trip the ``max_candidates`` exact fallback instead).
-    bucket_cap: int = 0
-    #: PCA-whiten embeddings before hashing (re-ranking always uses the raw
-    #: distances).  Graph-encoder embeddings concentrate most variance in
-    #: very few directions — sum pooling makes "corpus size along the mean
-    #: activation ray" dominant — and sign-of-projection hashes are blind
-    #: along a dominant axis unless the cloud is equalized first.
-    whiten: bool = True
-    #: Pin the index family instead of letting the recall probe choose:
-    #: "auto" (the probe), "sign" (:class:`ANNIndex`), "e2lsh"
-    #: (:class:`E2LSHIndex`) or "exact" (:class:`ExactIndex`).  Useful for
-    #: operational pinning and for exercising one specific serving path.
-    family: str = "auto"
-    #: Let :func:`select_neighbor_index` (the sign-hash recall probe) swap
-    #: in the :class:`E2LSHIndex` when the corpus has no family/cluster
-    #: structure for sign buckets to exploit.
-    auto_e2lsh: bool = True
-    #: Members replayed by the recall probe.  The sign hash is kept only
-    #: when at most ``probe_fallback_threshold`` of them fall back to the
-    #: exact scan, its recall@5 against the exact ground truth reaches
-    #: ``probe_min_recall`` (healthy-looking buckets can still be blind to
-    #: distance on cluster-free corpora — the recall check catches that),
-    #: and the mean candidate pool stays under ``probe_max_pool_fraction``
-    #: of the corpus (a hash that re-ranks a third of the RCS per query has
-    #: degraded to a slightly-disguised exact scan).
-    probe_sample: int = 64
-    probe_fallback_threshold: float = 0.5
-    probe_min_recall: float = 0.85
-    probe_max_pool_fraction: float = 0.05
-    #: When the sign hash degrades, corpora at least this large switch to
-    #: the quantized-projection E2LSH index; smaller ones serve the plain
-    #: exact scan (at those sizes the scan is cheaper than any hash walk).
-    e2lsh_threshold: int = 4096
-    #: Parameters of the quantized-projection index the probe may select.
-    e2lsh: E2LSHConfig = field(default_factory=E2LSHConfig)
-    seed: int = 0
-
-    def __post_init__(self) -> None:
-        # Fail at configuration time, not from deep inside an online add
-        # when the RCS first crosses the attachment threshold.
-        if self.family not in ("auto", "sign", "e2lsh", "exact"):
-            raise ValueError(
-                f"unknown index family {self.family!r}; expected one of "
-                "'auto', 'sign', 'e2lsh', 'exact'")
-
-
-class _BucketedLSHIndex:
-    """Shared substrate of the bucketed LSH serving indexes.
-
-    Owns everything hash-family-agnostic: the [L, capacity] bucket-code
-    growth buffer, precomputed member norms, the lazily re-sorted per-table
-    bucket tables, the vectorized candidate-pair expansion, the padded
-    exact re-rank in geometric pool-size bins, and the per-query exact
-    fallback for degenerate (too sparse / too dense) pools.  Subclasses
-    provide the hash family through two hooks:
-
-    * :meth:`_fit` — derive projections/calibration from the corpus;
-    * :meth:`_hash_codes` — [Q, L] int64 bucket codes;
-    * :meth:`_probe_codes` — [Q, L, P] bucket codes to visit per query.
-
-    ``last_fallback_fraction`` records, after every :meth:`search`, the
-    fraction of queries served by the exact fallback — the observable the
-    sign-hash recall probe (:func:`select_neighbor_index`) reads to detect
-    a corpus the hash family cannot bucket usefully.
-    """
-
-    def __init__(self, config: ANNConfig | E2LSHConfig) -> None:
-        self.config = config
-        if config.num_tables < 1:
-            raise ValueError("num_tables must be positive")
-        self._fitted = False
-        self._codes: np.ndarray | None = None         # [L, capacity] growth buffer
-        self._norms: np.ndarray | None = None         # [capacity] ‖x‖² per member
-        self._size = 0
-        self._order: np.ndarray | None = None         # [L, N] members by code
-        self._sorted_codes: np.ndarray | None = None  # [L, N]
-        self._stale_sort = True
-        self.last_fallback_fraction = 0.0
-        self.last_pool_fraction = 0.0
-
-    def __len__(self) -> int:
-        return self._size
-
-    # -- subclass hooks -------------------------------------------------
-    def _fit(self, embeddings: np.ndarray) -> None:
-        raise NotImplementedError
-
-    def _hash_codes(self, x: np.ndarray) -> np.ndarray:
-        raise NotImplementedError
-
-    def _probe_codes(self, queries: np.ndarray) -> np.ndarray:
-        raise NotImplementedError
-
-    # ------------------------------------------------------------------
-    def rebuild(self, embeddings: np.ndarray) -> None:
-        embeddings = _as_float_matrix(embeddings)
-        n = len(embeddings)
-        self._fit(embeddings)
-        self._fitted = True
-        codes = self._hash_codes(embeddings)
-        capacity = max(4, n)
-        self._codes = np.zeros((self.config.num_tables, capacity),
-                               dtype=np.int64)
-        self._codes[:, :n] = codes.T
-        self._norms = np.zeros(capacity, dtype=embeddings.dtype)
-        self._norms[:n] = (embeddings * embeddings).sum(axis=1)
-        self._size = n
-        self._stale_sort = True
-
-    def add(self, embedding: np.ndarray) -> None:
-        embedding = _as_float_matrix(embedding).reshape(1, -1)
-        if not self._fitted:
-            self.rebuild(embedding)
-            return
-        codes = self._hash_codes(embedding)
-        if self._size == self._codes.shape[1]:
-            grown = np.zeros((self.config.num_tables, 2 * self._size),
-                             dtype=np.int64)
-            grown[:, :self._size] = self._codes[:, :self._size]
-            self._codes = grown
-            grown_norms = np.zeros(2 * self._size, dtype=self._norms.dtype)
-            grown_norms[:self._size] = self._norms[:self._size]
-            self._norms = grown_norms
-        self._codes[:, self._size] = codes[0]
-        self._norms[self._size] = float((embedding * embedding).sum())
-        self._size += 1
-        self._stale_sort = True
-
-    # ------------------------------------------------------------------
-    #: 64-bit multiplicative-hash constant (golden-ratio based).
-    _HASH_GOLD = np.uint64(0x9E3779B97F4A7C15)
-
-    def _refresh_sort(self) -> None:
-        if not self._stale_sort:
-            return
-        codes = self._codes[:, :self._size]
-        self._order = np.argsort(codes, axis=1, kind="stable")
-        self._sorted_codes = np.take_along_axis(codes, self._order, axis=1)
-        self._build_bucket_maps()
-        self._stale_sort = False
-
-    # -- open-addressing bucket maps ------------------------------------
-    # Probing visits Q·L·(1+p) buckets per search; binary search over the
-    # sorted codes costs ~100ns per lookup (the measured hot spot of the
-    # whole ANN path), while a vectorized linear-probing hash table resolves
-    # most lookups with one or two gathers.  Each table maps a bucket code
-    # to its [lo, hi) run in the sorted order arrays.
-
-    def _hash_slots(self, keys: np.ndarray) -> np.ndarray:
-        mixed = keys.astype(np.uint64) * self._HASH_GOLD
-        mixed ^= mixed >> np.uint64(29)
-        return (mixed & np.uint64(self._map_mask)).astype(np.int64)
-
-    def _build_bucket_maps(self) -> None:
-        """One flat open-addressing arena over all tables' buckets.
-
-        Slot ``table * S + h`` holds table-local bucket data; every table's
-        inserts and lookups run in the same vectorized probe rounds, so the
-        round overhead is paid once per search instead of once per table.
-        Load factor ≤ ¼ keeps linear-probe chains short.
-        """
-        n = self._size
-        num_tables = self.config.num_tables
-        size = 1 << int(np.ceil(np.log2(max(8, 4 * n))))
-        self._map_mask = size - 1
-        self._map_used = np.zeros(num_tables * size, dtype=bool)
-        self._map_key = np.zeros(num_tables * size, dtype=np.int64)
-        self._map_lo = np.zeros(num_tables * size, dtype=np.int64)
-        self._map_hi = np.zeros(num_tables * size, dtype=np.int64)
-        if n == 0:
-            return
-        codes = self._sorted_codes
-        boundary = np.empty((num_tables, n), dtype=bool)
-        boundary[:, 0] = True
-        np.not_equal(codes[:, 1:], codes[:, :-1], out=boundary[:, 1:])
-        table_id, lo = np.nonzero(boundary)
-        run_starts = np.flatnonzero(boundary.ravel())
-        hi = np.append(run_starts[1:], num_tables * n) - table_id * n
-        keys = codes[table_id, lo]
-        base = table_id * size
-        slots = base + self._hash_slots(keys)
-        pending = np.arange(len(keys))
-        while pending.size:
-            attempt = slots[pending]
-            free = ~self._map_used[attempt]
-            # Among writers hitting one free slot this round, the first
-            # wins; losers (and occupied-slot hits) probe the next slot.
-            winner_slots, first = np.unique(attempt[free], return_index=True)
-            winners = pending[free][first]
-            self._map_used[winner_slots] = True
-            self._map_key[winner_slots] = keys[winners]
-            self._map_lo[winner_slots] = lo[winners]
-            self._map_hi[winner_slots] = hi[winners]
-            placed = np.zeros(len(keys), dtype=bool)
-            placed[winners] = True
-            pending = pending[~placed[pending]]
-            slots[pending] = (base[pending]
-                              + ((slots[pending] + 1) & self._map_mask))
-
-    def _bucket_ranges(self, probe: np.ndarray) -> tuple[np.ndarray,
-                                                         np.ndarray]:
-        """[lo, hi) sorted-order ranges for every probed bucket.
-
-        ``probe`` is the [Q, L, P] code tensor; the result arrays are
-        [L, Q·P] (tables leading, matching the expansion loop's layout).
-        """
-        num_tables = self.config.num_tables
-        wanted = probe.transpose(1, 0, 2).reshape(num_tables, -1)
-        width = wanted.shape[1]
-        wanted = wanted.ravel()
-        size = self._map_mask + 1
-        base = np.repeat(np.arange(num_tables) * size, width)
-        lo = np.zeros(len(wanted), dtype=np.int64)
-        hi = np.zeros(len(wanted), dtype=np.int64)
-        slots = base + self._hash_slots(wanted)
-        pending = np.arange(len(wanted))
-        target = wanted
-        while pending.size:
-            occupied = self._map_used[slots]
-            match = occupied & (self._map_key[slots] == target)
-            hits = pending[match]
-            lo[hits] = self._map_lo[slots[match]]
-            hi[hits] = self._map_hi[slots[match]]
-            # Empty slot = code absent (count stays 0); otherwise keep
-            # probing past the collision.
-            miss = occupied & ~match
-            pending = pending[miss]
-            target = target[miss]
-            base = base[miss]
-            slots = base + ((slots[miss] + 1) & self._map_mask)
-        return lo.reshape(num_tables, width), hi.reshape(num_tables, width)
-
-    def _candidate_pairs(self, probe: np.ndarray,
-                         num_queries: int) -> tuple[np.ndarray, np.ndarray]:
-        """Unique (query, member) pairs over all probed buckets.
-
-        Buckets larger than ``config.bucket_cap`` (when positive) contribute
-        nothing: a bucket that large carries no locality information for
-        this table — typically a lattice cell of a mismatched-radius ladder
-        rung — and expanding it would only flood the re-rank pool.
-        """
-        per_query = probe.shape[2]
-        num_tables = self.config.num_tables
-        bucket_cap = getattr(self.config, "bucket_cap", 0)
-        all_lo, all_hi = self._bucket_ranges(probe)
-        counts = (all_hi - all_lo).ravel()              # [L · Q · P]
-        if bucket_cap > 0:
-            counts = np.where(counts > bucket_cap, 0, counts)
-        total = int(counts.sum())
-        if total == 0:
-            return (np.empty(0, dtype=np.int64),) * 2
-        # One vectorized ragged expansion of every [lo, hi) bucket range
-        # across all tables; the order arrays are addressed flat with each
-        # table's row offset folded into its start positions.
-        starts = (all_lo
-                  + (np.arange(num_tables) * self._size)[:, None]).ravel()
-        expanded_starts = np.repeat(starts, counts)
-        bases = np.repeat(np.cumsum(counts) - counts, counts)
-        member = self._order.ravel()[expanded_starts + np.arange(total)
-                                     - bases]
-        qid_base = np.tile(np.repeat(np.arange(num_queries), per_query),
-                           num_tables)
-        # Dedup across tables/probes on the packed (query, member) key; the
-        # sorted keys come back grouped by query with members ascending —
-        # the order the re-rank's lowest-index tie-breaking relies on.
-        keys = np.sort(np.repeat(qid_base, counts) * np.int64(self._size)
-                       + member)
-        keep = np.empty(len(keys), dtype=bool)
-        keep[0] = True
-        np.not_equal(keys[1:], keys[:-1], out=keep[1:])
-        return np.divmod(keys[keep], self._size)
-
-    def _rerank(self, rows: np.ndarray, member: np.ndarray, pool: np.ndarray,
-                offsets: np.ndarray, queries: np.ndarray,
-                query_norms: np.ndarray, embeddings: np.ndarray,
-                k: int,
-                pool_codes: tuple[QuantizedStore,
-                                  tuple[np.ndarray, np.ndarray],
-                                  int] | None = None
-                ) -> tuple[np.ndarray, np.ndarray]:
-        """Exact re-rank of the candidate pools of the ``rows`` queries.
-
-        The pools are padded to the subset's maximum width and the dot
-        products run as one batched GEMM against the query vectors (the
-        Gram identity again, with member norms precomputed at index time);
-        inf padding never wins the top-k.  Within a row candidates are in
-        ascending member order, so the lowest-index tie-break of
-        ``top_k_neighbors`` matches the exhaustive search.
-
-        ``pool_codes`` — a ``(store, query_context, keep)`` triple — routes
-        wide pools through the quantized tier first: the padded pool is
-        ranked in code space (int8 GEMM / PQ ADC gathers) and only the
-        ``keep = k · overfetch`` best candidates reach the float-tier GEMM,
-        so the padded float matrix is never wider than the overfetch pool
-        regardless of how dense the probed buckets were.
-        """
-        counts = pool[rows]
-        width = int(counts.max())
-        flat = (np.repeat(offsets[rows], counts)
-                + np.arange(int(counts.sum()))
-                - np.repeat(np.cumsum(counts) - counts, counts))
-        rowid = np.repeat(np.arange(len(rows)), counts)
-        position = flat - np.repeat(offsets[rows], counts)
-        members = np.zeros((len(rows), width), dtype=np.int64)
-        members[rowid, position] = member[flat]
-        if pool_codes is not None and width > pool_codes[2]:
-            members, counts = self._narrow_pools(pool_codes, rows, members,
-                                                 counts)
-            width = members.shape[1]
-        dots = (embeddings[members] @ queries[rows][:, :, None])[:, :, 0]
-        padded = np.maximum(
-            self._norms[members] + query_norms[rows][:, None] - 2.0 * dots,
-            0.0)
-        padded[np.arange(width) >= counts[:, None]] = np.inf
-        local = top_k_neighbors(padded, k)
-        return (np.take_along_axis(members, local, axis=1),
-                np.sqrt(np.take_along_axis(padded, local, axis=1)))
-
-    @staticmethod
-    def _narrow_pools(pool_codes: tuple[QuantizedStore,
-                                        tuple[np.ndarray, np.ndarray], int],
-                      rows: np.ndarray, members: np.ndarray,
-                      counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Code-space narrowing of wide padded re-rank pools.
-
-        Ranks every pool candidate in the attached store's code space and
-        keeps the ``keep`` best per row.  Pad slots are masked to inf
-        before selection; in rows with fewer than ``keep`` real candidates
-        some pads are unavoidably selected, so the surviving candidates are
-        reordered valid-first (then ascending member index — the order the
-        float re-rank's lowest-index tie-break relies on) and the narrowed
-        per-row counts mask the tail exactly as the original pads were
-        masked.  No candidate is duplicated or dropped below ``keep``.
-        """
-        store, context, keep = pool_codes
-        width = members.shape[1]
-        code = store.pool_distances(context, rows, members)
-        code[np.arange(width) >= counts[:, None]] = np.inf
-        selected = np.argpartition(code, keep - 1, axis=1)[:, :keep]
-        valid = np.take_along_axis(code, selected, axis=1) != np.inf
-        chosen = np.take_along_axis(members, selected, axis=1)
-        order = np.lexsort((chosen, ~valid), axis=1)
-        return (np.take_along_axis(chosen, order, axis=1),
-                valid.sum(axis=1))
-
-    def search(self, queries: np.ndarray, embeddings: np.ndarray,
-               k: int, *, store: CandidateStore | None = None
-               ) -> tuple[np.ndarray, np.ndarray]:
-        embeddings = np.atleast_2d(np.asarray(embeddings))
-        queries = _as_float_matrix(queries)
-        dtype = _common_dtype(queries, embeddings)
-        queries = queries.astype(dtype, copy=False)
-        n = len(embeddings)
-        if n != self._size or not self._fitted:
-            self.rebuild(embeddings)
-        k = min(k, n)
-        floor = min(max(k, self.config.min_candidates), n)
-        if n <= floor:
-            self.last_fallback_fraction = 1.0
-            self.last_pool_fraction = 1.0
-            return candidate_scan(queries, embeddings, k, store)
-        self._refresh_sort()
-        num_queries = len(queries)
-        qid, member = self._candidate_pairs(self._probe_codes(queries),
-                                            num_queries)
-        pool = np.bincount(qid, minlength=num_queries)
-        offsets = np.cumsum(pool) - pool
-        fallback = pool < floor
-        if self.config.max_candidates > 0:
-            fallback |= pool > self.config.max_candidates
-        self.last_fallback_fraction = float(fallback.mean())
-        # How much of the corpus an average query still touches (fallback
-        # queries touch all of it): the recall probe's "is this hash
-        # actually pruning anything" signal.
-        self.last_pool_fraction = float(
-            np.where(fallback, n, pool).mean() / n)
-        active = np.nonzero(~fallback)[0]
-        if active.size == 0:
-            return candidate_scan(queries, embeddings, k, store)
-
-        # Quantized re-rank pools: when a size-synced store is attached,
-        # wide pools rank their candidates in code space (one shared
-        # query context per search) and only k·overfetch survivors reach
-        # the padded float GEMM — the second half of the candidate tier.
-        pool_codes = None
-        if (store is not None and len(store) == n
-                and n >= store.config.min_size):
-            keep = k * max(store.config.overfetch, 1)
-            if keep > 0 and int(pool[active].max()) > keep:
-                pool_codes = (store, store.query_context(queries), keep)
-
-        indices = np.empty((num_queries, k), dtype=np.int64)
-        distances = np.empty((num_queries, k), dtype=dtype)
-        query_norms = (queries * queries).sum(axis=1)
-        # Re-rank in geometric pool-size bins: a handful of dense queries
-        # must not widen the padded candidate matrix of the (typically much
-        # smaller) median pool.  frexp's exponent is floor(log2) + 1.
-        levels = np.frexp(pool[active].astype(np.float64))[1]
-        for level in np.unique(levels):
-            rows = active[levels == level]
-            indices[rows], distances[rows] = self._rerank(
-                rows, member, pool, offsets, queries, query_norms,
-                embeddings, k, pool_codes)
-        if fallback.any():
-            indices[fallback], distances[fallback] = candidate_scan(
-                queries[fallback], embeddings, k, store)
-        return indices, distances
-
-
-class ANNIndex(_BucketedLSHIndex):
-    """Multi-probe random-hyperplane *sign* LSH with exact re-ranking.
-
-    Each of ``num_tables`` tables hashes an embedding to a ``num_bits``-bit
-    signature (the sign pattern of projections onto random hyperplanes,
-    taken around the corpus centroid so anisotropic embedding clouds still
-    spread over buckets).  A query gathers every member sharing a bucket in
-    any table — plus ``num_probes`` neighboring buckets per table, flipping
-    the lowest-margin signature bits — and re-ranks that candidate pool with
-    exact distances against the live embedding matrix.  Queries with too few
-    candidates fall back to the exhaustive scan, so results degrade toward
-    exact rather than toward empty.
-
-    :meth:`add` hashes only the appended row (bucket tables are re-sorted
-    lazily on the next search); :meth:`rebuild` re-hashes the corpus, which
-    is also how the index heals itself if it observes an embedding matrix
-    whose length it does not recognize.
-    """
-
-    def __init__(self, config: ANNConfig | None = None) -> None:
-        super().__init__(config or ANNConfig())
-        self._projection: np.ndarray | None = None  # [d, L·b], whitening folded in
-        self._center: np.ndarray | None = None      # [d]
-        self._num_bits = 0
-
-    # ------------------------------------------------------------------
-    def _fit(self, embeddings: np.ndarray) -> None:
-        n, dim = embeddings.shape
-        config = self.config
-        bits = config.num_bits
-        if bits <= 0:
-            # Generous signatures (2^b buckets >> n) keep buckets near
-            # pure-locality collisions; recall then comes from the
-            # multi-probe expansion rather than coarse buckets.
-            bits = int(np.clip(np.ceil(np.log2(max(n, 2))) + 3, 8, 24))
-        self._num_bits = bits
-        rng = np.random.default_rng(config.seed)
-        hyperplanes = rng.standard_normal((config.num_tables * bits, dim))
-        center = (embeddings.mean(axis=0, dtype=np.float64) if n
-                  else np.zeros(dim, dtype=np.float64))
-        # The whitening transform composes with the hyperplanes into one
-        # [d, L·b] projection, so equalizing the embedding cloud costs
-        # nothing per query; hashing then runs on the corpus' precision
-        # tier (the whitening solve itself stays float64 for stability).
-        projection = hyperplanes.T
-        if config.whiten and n > 1:
-            centered = np.asarray(embeddings, dtype=np.float64) - center
-            eigvals, eigvecs = np.linalg.eigh(centered.T @ centered / n)
-            top = float(eigvals.max())
-            if top > 0.0:
-                scale = 1.0 / np.sqrt(np.maximum(eigvals, 1e-9 * top))
-                projection = (eigvecs * scale) @ hyperplanes.T
-        self._center = center.astype(embeddings.dtype, copy=False)
-        self._projection = projection.astype(embeddings.dtype, copy=False)
-
-    def _signatures(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """([Q, L] bucket codes, [Q, L, b] signed projection margins)."""
-        proj = (x.astype(self._projection.dtype, copy=False)
-                - self._center) @ self._projection
-        proj = proj.reshape(len(x), self.config.num_tables, self._num_bits)
-        codes = (proj > 0) @ (np.int64(1) << np.arange(self._num_bits))
-        return codes, proj
-
-    def _hash_codes(self, x: np.ndarray) -> np.ndarray:
-        return self._signatures(x)[0]
-
-    def _probe_codes(self, queries: np.ndarray) -> np.ndarray:
-        """[Q, L, 1 + p] bucket codes to visit per query and table."""
-        codes, proj = self._signatures(queries)
-        probes = min(self.config.num_probes, self._num_bits)
-        out = np.empty(codes.shape + (1 + probes,), dtype=np.int64)
-        out[..., 0] = codes
-        if probes:
-            # Flip the bits closest to their hyperplane: the buckets a near
-            # neighbor is most likely to have landed in instead.
-            flips = np.argsort(np.abs(proj), axis=2)[:, :, :probes]
-            out[..., 1:] = codes[:, :, None] ^ (np.int64(1) << flips)
-        return out
-
-
-class E2LSHIndex(_BucketedLSHIndex):
-    """Multi-probe quantized-projection (E2LSH-style) LSH.
-
-    Hash family of Datar et al.: ``h(x) = floor((x·w + b) / r)`` with
-    Gaussian ``w`` and ``b ~ U[0, r)``.  Collision probability decays with
-    the true distance *along every projection* — not just its sign — so the
-    index keeps discriminating near neighbors on corpora with no cluster
-    structure at all (uniform clouds, shells), exactly where sign buckets
-    collapse into a few huge cells and degrade to the exact scan.
-
-    Per table the ``num_projections`` lattice coordinates are mixed into one
-    int64 bucket key with random odd multipliers; because the key is linear
-    in the coordinates, the multi-probe walk (stepping the coordinate whose
-    cell boundary is closest to the query, in the cheaper direction) is a
-    constant-time key increment per probe.  Candidate expansion, re-ranking
-    and the degenerate-pool exact fallback are shared with the sign hash
-    through :class:`_BucketedLSHIndex`.
-    """
-
-    #: Pair probes are drawn from combinations of this many cheapest single
-    #: steps (m choose 2 extra probe candidates per table).
-    _PAIR_POOL = 6
-
-    def __init__(self, config: E2LSHConfig | None = None) -> None:
-        super().__init__(config or E2LSHConfig())
-        self._projection: np.ndarray | None = None  # [d, L·b]
-        self._offsets: np.ndarray | None = None     # [L·b]
-        self._mix: np.ndarray | None = None         # [L, b] odd multipliers
-        self._num_projections = 0
-        self._radii: np.ndarray | None = None       # [L] ladder rungs
-
-    # ------------------------------------------------------------------
-    def _fit(self, embeddings: np.ndarray) -> None:
-        n, dim = embeddings.shape
-        config = self.config
-        rng = np.random.default_rng(config.seed)
-        projections = config.num_projections
-        if projections <= 0:
-            # More lattice coordinates sharpen buckets but cost recall per
-            # table; ~0.6·log2(n) keeps expected home-bucket sizes within
-            # the re-rank guard rails across the sizes the RCS serves.
-            projections = int(np.clip(round(0.6 * np.log2(max(n, 2))), 2, 12))
-        self._num_projections = projections
-        total = config.num_tables * projections
-        hyperplanes = rng.standard_normal((dim, total))
-        self._radii = self._calibrate_radii(embeddings, rng).astype(
-            embeddings.dtype)
-        # Offsets are uniform within each table's own cell width.
-        self._offsets = (rng.uniform(0.0, 1.0, size=(config.num_tables,
-                                                     projections))
-                         * self._radii[:, None]).reshape(total).astype(
-                             embeddings.dtype)
-        self._projection = hyperplanes.astype(embeddings.dtype, copy=False)
-        # Odd multipliers mix lattice coordinates into one int64 key with
-        # wraparound arithmetic; a cross-bucket key collision only adds a
-        # few spurious candidates to the exact re-rank.
-        self._mix = (rng.integers(1, np.iinfo(np.int64).max,
-                                  size=(config.num_tables, projections),
-                                  dtype=np.int64) | np.int64(1))
-
-    def _calibrate_radii(self, embeddings: np.ndarray,
-                         rng: np.random.Generator) -> np.ndarray:
-        """The [L] radius ladder from the sampled k-NN distance spread.
-
-        The hash is only useful where one lattice cell is on the order of
-        the distances the serving path must resolve.  Rung t quantizes at
-        ``radius_scale`` times the t-th percentile of the sampled members'
-        ``calibration_k``-NN distances, so corpora whose local neighbor
-        scale varies (radially growing GIN clouds) are covered at every
-        scale; a fixed ``config.radius`` pins every rung instead.
-        """
-        config = self.config
-        num_tables = config.num_tables
-        if config.radius > 0:
-            return np.full(num_tables, float(config.radius),
-                           dtype=np.float64)
-        n = len(embeddings)
-        sample = min(config.calibration_sample, n)
-        if sample < 2:
-            return np.ones(num_tables, dtype=np.float64)
-        idx = rng.choice(n, size=sample, replace=False)
-        k = min(config.calibration_k + 1, n)   # +1: the member finds itself
-        _, dists = exact_search(embeddings[idx], embeddings, k)
-        scales = dists[:, -1][dists[:, -1] > 0]
-        if len(scales) == 0:
-            # Degenerate corpus (duplicates everywhere): any radius maps it
-            # to one bucket per table and the dense-pool fallback serves it
-            # exactly.
-            return np.ones(num_tables, dtype=np.float64)
-        percentiles = 100.0 * (np.arange(num_tables) + 0.5) / num_tables
-        rungs = config.radius_scale * np.percentile(
-            np.asarray(scales, dtype=np.float64), percentiles)
-        return np.maximum(rungs, 1e-12)
-
-    def _lattice(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """([Q, L, b] lattice coordinates, [Q, L, b] in-cell fractions)."""
-        scaled = (x.astype(self._projection.dtype, copy=False)
-                  @ self._projection + self._offsets)
-        scaled = scaled.reshape(len(x), self.config.num_tables,
-                                self._num_projections)
-        scaled = scaled / self._radii[None, :, None]
-        coords = np.floor(scaled)
-        return coords.astype(np.int64), scaled - coords
-
-    def _hash_codes(self, x: np.ndarray) -> np.ndarray:
-        coords, _ = self._lattice(x)
-        return (coords * self._mix).sum(axis=2)
-
-    def _probe_codes(self, queries: np.ndarray) -> np.ndarray:
-        """[Q, L, 1 + p] bucket keys: home cell + nearest lattice walks.
-
-        A near neighbor most likely sits one lattice step along the
-        coordinate whose cell boundary the query is closest to: stepping
-        down costs the in-cell fraction, stepping up its complement, and a
-        two-coordinate walk costs the sum.  The key is linear in the
-        coordinates, so every probe is a couple of ±multiplier increments.
-        """
-        coords, frac = self._lattice(queries)
-        codes = (coords * self._mix).sum(axis=2)
-        b = self._num_projections
-        # Single steps: [Q, L, 2b] (down then up per coordinate).
-        costs = np.concatenate([frac, 1.0 - frac], axis=2)
-        deltas = np.broadcast_to(
-            np.concatenate([-self._mix, self._mix], axis=1), costs.shape)
-        pool = min(self._PAIR_POOL, 2 * b)
-        if self.config.num_probes > 2 * b and pool >= 2:
-            # Extend the walk with pairs of the cheapest single steps
-            # (skipping the degenerate down+up of one coordinate).  Probe
-            # *sets* are all that matters — buckets are visited, not ranked
-            # — so argpartition replaces every argsort on this path.
-            top = np.argpartition(costs, pool - 1, axis=2)[:, :, :pool]
-            top_costs = np.take_along_axis(costs, top, axis=2)
-            top_deltas = np.take_along_axis(deltas, top, axis=2)
-            left, right = np.triu_indices(pool, 1)
-            pair_costs = top_costs[:, :, left] + top_costs[:, :, right]
-            same = (top % b)[:, :, left] == (top % b)[:, :, right]
-            pair_costs = np.where(same, np.inf, pair_costs)
-            costs = np.concatenate([costs, pair_costs], axis=2)
-            deltas = np.concatenate(
-                [deltas, top_deltas[:, :, left] + top_deltas[:, :, right]],
-                axis=2)
-        probes = min(self.config.num_probes, costs.shape[2])
-        out = np.empty(codes.shape + (1 + probes,), dtype=np.int64)
-        out[..., 0] = codes
-        if probes:
-            if probes < costs.shape[2]:
-                walk = np.argpartition(costs, probes - 1,
-                                       axis=2)[:, :, :probes]
-            else:
-                walk = np.broadcast_to(np.arange(probes), costs.shape[:2]
-                                       + (probes,))
-            out[..., 1:] = codes[:, :, None] + np.take_along_axis(
-                deltas, walk, axis=2)
-        return out
-
-
-def select_neighbor_index(embeddings: np.ndarray,
-                          config: ANNConfig) -> NeighborIndex:
-    """The sign-hash recall probe: pick the serving index a corpus supports.
-
-    Builds the sign-hash :class:`ANNIndex` and replays a sample of the
-    corpus' own members through it, scoring two health signals against the
-    exact ground truth on the same sample: the fraction of queries that
-    fell back to the exact scan (degenerate pools), and recall@5 (sign
-    buckets can be perfectly sized yet carry no distance information on a
-    cluster-free corpus).  A corpus with family/cluster structure passes
-    both checks and keeps the sign hash; a degraded corpus switches to the
-    quantized-projection :class:`E2LSHIndex` when it is large enough for
-    any hash walk to beat the scan, and to the plain :class:`ExactIndex`
-    below that size.  ``config.family`` pins one family and skips the probe.
-    """
-    if config.family != "auto":
-        if config.family == "exact":
-            return ExactIndex()
-        pinned: NeighborIndex = (E2LSHIndex(config.e2lsh)
-                                 if config.family == "e2lsh"
-                                 else ANNIndex(config))
-        pinned.rebuild(embeddings)
-        return pinned
-    index = ANNIndex(config)
-    index.rebuild(embeddings)
-    if not config.auto_e2lsh:
-        return index
-    n = len(embeddings)
-    sample = min(config.probe_sample, n)
-    if sample == 0:
-        return index
-    rng = np.random.default_rng(config.seed)
-    probe = rng.choice(n, size=sample, replace=False)
-    queries = np.asarray(embeddings)[probe]
-    k = min(5, n)
-    approx, _ = index.search(queries, embeddings, k)
-    fallback = index.last_fallback_fraction
-    pool_fraction = index.last_pool_fraction
-    exact, _ = exact_search(queries, embeddings, k)
-    recall = float(np.mean([len(set(a) & set(e)) / k
-                            for a, e in zip(approx, exact)]))
-    if (fallback <= config.probe_fallback_threshold
-            and recall >= config.probe_min_recall
-            and pool_fraction <= config.probe_max_pool_fraction):
-        return index
-    if n >= config.e2lsh_threshold:
-        e2lsh = E2LSHIndex(config.e2lsh)
-        e2lsh.rebuild(embeddings)
-        return e2lsh
-    return ExactIndex()
-
-
-@dataclass
-class Recommendation:
-    """Outcome of one AutoCE recommendation."""
-
-    model: str
-    score_vector: np.ndarray
-    model_names: tuple[str, ...]
-    neighbor_indices: np.ndarray
-    neighbor_distances: np.ndarray
-
-    def ranking(self) -> list[tuple[str, float]]:
-        order = np.argsort(-self.score_vector)
-        return [(self.model_names[i], float(self.score_vector[i])) for i in order]
-
-
-class RecommendationCandidateSet:
-    """Def. 5: labeled embeddings (X, Y) searched by the KNN predictor.
-
-    Embeddings live in an amortized capacity-doubling buffer, so the online
-    adaptation path can :meth:`add` members in O(1) amortized instead of
-    re-allocating the whole matrix per insert.  Score matrices (one per
-    accuracy weight) are memoized for the batched KNN.
-
-    Neighbor queries go through :meth:`search`.  Small candidate sets use
-    the exact Gram-identity scan; when an :class:`ANNConfig` is supplied and
-    the membership crosses ``ANNConfig.threshold``, an :class:`ANNIndex` is
-    attached automatically and kept fresh on :meth:`add` (incremental) and
-    :meth:`replace_embeddings` (full re-hash).
-    """
-
-    def __init__(self, embeddings: np.ndarray | None = None,
-                 labels: list[ScoreLabel] | None = None,
-                 ann: ANNConfig | None = None,
-                 quantization: QuantizationConfig | None = None,
-                 quantized_store: "CandidateStore | None" = None) -> None:
-        # The buffer keeps the embeddings' precision tier: a float32 corpus
-        # (the serving fast tier) is stored and searched in float32.
-        embeddings = (np.zeros((0, 0), dtype=np.float64)
-                      if embeddings is None
-                      else _as_float_matrix(embeddings))
-        self.labels: list[ScoreLabel] = list(labels or [])
-        if len(embeddings) != len(self.labels):
-            raise ValueError("embeddings and labels must align")
-        self._buffer = np.array(embeddings, dtype=embeddings.dtype)
-        self._size = len(embeddings)
-        self._score_cache: dict[float, np.ndarray] = {}
-        self.ann_config = ann
-        self._index: NeighborIndex | None = None
-        #: RCS size at the last recall-probe run (see :meth:`add`).
-        self._index_size = 0
-        self.quantization = quantization
-        self._quantized: CandidateStore | None = None
-        #: Value snapshot of the config the attached store was built under
-        #: (the live ``quantization`` object may be mutated in place by
-        #: :meth:`AutoCE.set_quantization`; the snapshot is what makes the
-        #: no-op check a *value* comparison).
-        self._quantized_config: QuantizationConfig | None = None
-        self._sync_index()
-        if (quantized_store is not None and quantization is not None
-                and quantization.enabled
-                and len(quantized_store) == self._size):
-            # Warm attach (persistence restore path): adopt a prebuilt
-            # store instead of retraining codebooks from the rows.
-            self._quantized = quantized_store
-            self._quantized_config = replace(quantization)
-        else:
-            self._sync_quantized()
-
-    def __len__(self) -> int:
-        return len(self.labels)
-
-    @property
-    def embeddings(self) -> np.ndarray:
-        """The live [N, d] embedding matrix (a view of the growth buffer)."""
-        return self._buffer[:self._size]
-
-    @property
-    def index(self) -> NeighborIndex | None:
-        """The attached neighbor index (None = inline exact search)."""
-        return self._index
-
-    @property
-    def quantized(self) -> CandidateStore | None:
-        """The attached quantized candidate tier — flat int8 or PQ,
-        whichever :func:`select_quantizer` picked (None = float
-        candidates)."""
-        return self._quantized
-
-    @property
-    def model_names(self) -> tuple[str, ...]:
-        if not self.labels:
-            raise ValueError("empty RCS")
-        return self.labels[0].model_names
-
-    def _sync_index(self) -> None:
-        """Attach a neighbor index once membership crosses the threshold.
-
-        The index family is chosen by the sign-hash recall probe
-        (:func:`select_neighbor_index`): sign-hash LSH when the corpus has
-        cluster structure, the quantized-projection E2LSH otherwise.
-        """
-        config = self.ann_config
-        if (self._index is None and config is not None and config.threshold > 0
-                and self._size >= config.threshold):
-            self._index = select_neighbor_index(self.embeddings, config)
-            self._index_size = self._size
-
-    def _sync_quantized(self) -> None:
-        """Attach a quantized candidate tier once membership reaches its
-        floor; :func:`select_quantizer` picks the code layout (flat int8
-        up to the exactness bound, PQ for wider embeddings)."""
-        config = self.quantization
-        if (self._quantized is None and config is not None and config.enabled
-                and self._size >= config.min_size):
-            self._quantized = select_quantizer(self.embeddings, config)
-            self._quantized_config = replace(config)
-
-    def set_quantization(self, config: QuantizationConfig | None) -> bool:
-        """Switch the quantized candidate tier on or off for a live RCS.
-
-        Returns whether anything changed.  Re-enabling with a config whose
-        *values* match the one the attached store was built under (and a
-        store still covering the live corpus) is a no-op — no codebook
-        retraining, no k-means.  Any value change re-selects the layout: a
-        config whose ``mode`` changed (or whose "auto" resolves
-        differently) swaps the store class, and construction recalibrates
-        from the live corpus either way.
-        """
-        self.quantization = config
-        if config is None or not config.enabled:
-            changed = self._quantized is not None
-            self._quantized = None
-            self._quantized_config = None
-            return changed
-        if (self._quantized is not None
-                and self._quantized_config == config
-                and len(self._quantized) == self._size):
-            return False
-        self._quantized = None
-        self._quantized_config = None
-        self._sync_quantized()
-        return True
-
-    def add(self, embedding: np.ndarray, label: ScoreLabel) -> None:
-        embedding = _as_float_matrix(embedding).ravel()
-        require_finite_embeddings(embedding, "RCS embedding")
-        dim = embedding.shape[0]
-        if self._size == 0:
-            if self._buffer.shape[1] != dim or len(self._buffer) == 0:
-                self._buffer = np.zeros((max(4, len(self._buffer)), dim),
-                                        dtype=embedding.dtype)
-        elif self._buffer.shape[1] != dim:
-            raise ValueError(
-                f"embedding dimension {dim} != RCS dimension "
-                f"{self._buffer.shape[1]}")
-        if self._size == len(self._buffer):
-            grown = np.zeros((max(4, 2 * len(self._buffer)), dim),
-                             dtype=self._buffer.dtype)
-            grown[:self._size] = self._buffer[:self._size]
-            self._buffer = grown
-        self._buffer[self._size] = embedding
-        self._size += 1
-        self.labels.append(label)
-        self._score_cache.clear()
-        if self._index is not None:
-            self._index.add(embedding)
-            # Re-run the recall probe once the corpus has doubled since the
-            # index family was chosen (structural drift — clusters forming
-            # or dissolving — can change the right family; doubling keeps
-            # the re-probe cost amortized O(1) per add), and immediately
-            # when an ExactIndex chosen for a scan-sized degraded corpus
-            # crosses the E2LSH size floor.
-            grown = self._size >= 2 * max(self._index_size, 1)
-            graduates = (isinstance(self._index, ExactIndex)
-                         and self._index_size < self.ann_config.e2lsh_threshold
-                         <= self._size)
-            if grown or graduates:
-                self._index = select_neighbor_index(self.embeddings,
-                                                    self.ann_config)
-                self._index_size = self._size
-        else:
-            self._sync_index()
-        if self._quantized is not None:
-            # Requantization hook: the store quantizes the appended row
-            # under its frozen calibration and reports drift (clipping /
-            # gross outliers), at which point the scale and zero-points are
-            # recalibrated from the live corpus.
-            if self._quantized.add(embedding):
-                self._quantized.recalibrate(self.embeddings)
-        else:
-            self._sync_quantized()
-
-    def replace_embeddings(self, embeddings: np.ndarray) -> None:
-        """Refresh stored embeddings after the encoder is retrained.
-
-        Retraining (or a precision-tier switch) can change the corpus
-        geometry, so the recall probe re-selects the index family rather
-        than blindly re-hashing the previous choice.
-        """
-        embeddings = _as_float_matrix(embeddings)
-        require_finite_embeddings(embeddings, "RCS embeddings")
-        if len(embeddings) != len(self.labels):
-            raise ValueError("embedding count must match labels")
-        self._buffer = np.array(embeddings, dtype=embeddings.dtype)
-        self._size = len(embeddings)
-        self._score_cache.clear()
-        if self._index is not None:
-            self._index = select_neighbor_index(self.embeddings,
-                                                self.ann_config)
-            self._index_size = self._size
-        else:
-            self._sync_index()
-        if self._quantized is not None:
-            # Retrained embeddings land on new geometry; the old calibration
-            # is meaningless, so requantize the whole corpus.
-            self._quantized.recalibrate(self.embeddings)
-        else:
-            self._sync_quantized()
-
-    def search(self, queries: np.ndarray,
-               k: int) -> tuple[np.ndarray, np.ndarray]:
-        """k nearest members per query: ([Q, k] indices, [Q, k] distances)."""
-        queries = _as_float_matrix(queries)
-        k = min(k, self._size)
-        if self._index is None:
-            return candidate_scan(queries, self.embeddings, k,
-                                  self._quantized)
-        return self._index.search(queries, self.embeddings, k,
-                                  store=self._quantized)
-
-    def score_matrix(self, accuracy_weight: float) -> np.ndarray:
-        """Memoized [N, m] matrix of member score vectors at one weight."""
-        key = float(accuracy_weight)
-        cached = self._score_cache.get(key)
-        if cached is None or len(cached) != len(self.labels):
-            cached = np.stack(
-                [label.score_vector(key) for label in self.labels])
-            self._score_cache[key] = cached
-        return cached
-
-    def nearest_neighbor_distances(self) -> np.ndarray:
-        """Distance of each member to its nearest other member."""
-        if len(self) < 2:
-            return np.zeros(len(self), dtype=self._buffer.dtype)
-        sq = squared_distance_matrix(self.embeddings, self.embeddings)
-        np.fill_diagonal(sq, np.inf)
-        return np.sqrt(sq.min(axis=1))
-
-
-class KNNPredictor:
-    """Eq. 13: average the k nearest labels and pick the top ranker.
-
-    The paper finds k = 2 optimal (Table IV); that is the default.  Neighbor
-    search is delegated to :meth:`RecommendationCandidateSet.search`, so the
-    predictor transparently uses whichever :class:`NeighborIndex` the RCS
-    has selected (exact below the ANN threshold, LSH above it).
-    """
-
-    def __init__(self, k: int = 2) -> None:
-        if k < 1:
-            raise ValueError("k must be positive")
-        self.k = k
-
-    def recommend(self, embedding: np.ndarray, rcs: RecommendationCandidateSet,
-                  accuracy_weight: float, k: int | None = None) -> Recommendation:
-        return self.recommend_batch(
-            _as_float_matrix(embedding), rcs, accuracy_weight, k=k)[0]
-
-    def recommend_batch(self, embeddings: np.ndarray,
-                        rcs: RecommendationCandidateSet,
-                        accuracy_weight: float,
-                        k: int | None = None) -> list[Recommendation]:
-        """Vectorized Eq. 13 for Q queries at once.
-
-        One [Q, N] Gram-identity distance matrix (or one ANN probe pass),
-        one ``argpartition`` per row, and one gather over the memoized score
-        matrix replace Q independent full-sort searches.
-        """
-        if len(rcs) == 0:
-            raise ValueError("cannot recommend from an empty RCS")
-        embeddings = _as_float_matrix(embeddings)
-        k = k if k is not None else self.k
-        k = min(k, len(rcs))
-        nearest, neighbor_distances = rcs.search(embeddings, k)   # [Q, k]
-        scores = rcs.score_matrix(accuracy_weight)[nearest].mean(axis=1)
-        best = np.argmax(scores, axis=1)
-        names = rcs.model_names
-        return [
-            Recommendation(
-                model=names[int(best[i])],
-                score_vector=scores[i],
-                model_names=names,
-                neighbor_indices=nearest[i],
-                neighbor_distances=neighbor_distances[i],
-            )
-            for i in range(len(embeddings))
-        ]
+from .serving.indexes import (ANNConfig, ANNIndex, E2LSHConfig, E2LSHIndex,
+                              ExactIndex, NeighborIndex, _BucketedLSHIndex)
+from .serving.kernels import (_FLOAT_DTYPES, _as_float_matrix,
+                              _common_dtype, exact_search,
+                              require_finite_embeddings,
+                              squared_distance_matrix, top_k_neighbors)
+from .serving.probe import select_neighbor_index
+from .serving.quantizers import (INT8_EXACT_MAX_DIM, CandidateStore,
+                                 PQStore, QuantizationConfig,
+                                 QuantizedStore, candidate_scan,
+                                 quantized_distances_int32_reference,
+                                 rerank_candidates, seeded_kmeans,
+                                 select_quantizer)
+from .serving.store import (KNNPredictor, Recommendation,
+                            RecommendationCandidateSet)
+
+__all__ = [
+    "_FLOAT_DTYPES", "_as_float_matrix", "_common_dtype", "exact_search",
+    "require_finite_embeddings", "squared_distance_matrix",
+    "top_k_neighbors",
+    "INT8_EXACT_MAX_DIM", "CandidateStore", "PQStore",
+    "QuantizationConfig", "QuantizedStore", "candidate_scan",
+    "quantized_distances_int32_reference", "rerank_candidates",
+    "seeded_kmeans", "select_quantizer",
+    "ANNConfig", "ANNIndex", "E2LSHConfig", "E2LSHIndex", "ExactIndex",
+    "NeighborIndex", "_BucketedLSHIndex",
+    "select_neighbor_index",
+    "KNNPredictor", "Recommendation", "RecommendationCandidateSet",
+]

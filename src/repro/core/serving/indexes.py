@@ -1,0 +1,788 @@
+"""LSH serving indexes behind the :class:`NeighborIndex` protocol.
+
+Two LSH families share one bucketed-index substrate
+(:class:`_BucketedLSHIndex`): :class:`ANNIndex` is a random-hyperplane
+*sign* hash with multi-probe bit flips — ideal when the corpus has
+family/cluster structure — and :class:`E2LSHIndex` is a
+quantized-projection (E2LSH-style) hash ``floor((x·w + b) / r)`` with
+multi-probe bucket walks, which keeps discriminating by *distance* on
+corpora without cluster structure.  Both rank their padded re-rank
+pools in code space when a quantized store is attached
+(:meth:`_BucketedLSHIndex._narrow_pools`).  :class:`ExactIndex` is the
+exhaustive Gram-identity search behind the same protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from .kernels import (_as_float_matrix, _common_dtype, exact_search,
+                      top_k_neighbors)
+from .quantizers import CandidateStore, QuantizedStore, candidate_scan
+
+@runtime_checkable
+class NeighborIndex(Protocol):
+    """Shared protocol of the exact and approximate serving indexes.
+
+    ``embeddings`` in :meth:`search` is always the *live* RCS matrix — the
+    index only accelerates candidate selection and re-ranks against the
+    source of truth, so it never has to copy (or risk serving stale copies
+    of) the embedding rows themselves.
+    """
+
+    def rebuild(self, embeddings: np.ndarray) -> None:
+        """(Re)index the full [N, d] embedding matrix."""
+
+    def add(self, embedding: np.ndarray) -> None:
+        """Index one appended row without re-hashing the existing corpus."""
+
+    def search(self, queries: np.ndarray, embeddings: np.ndarray,
+               k: int, *, store: "CandidateStore | None" = None
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """([Q, k] neighbor indices, [Q, k] Euclidean distances).
+
+        ``store`` optionally provides a quantized candidate tier (flat
+        int8 codes or PQ): scan-shaped passes (the exhaustive search and
+        the LSH indexes' exact fallbacks) run their candidate selection
+        over the codes, and the bucketed LSH indexes additionally rank
+        their padded re-rank pools in code space — all re-ranked in the
+        float tier.
+        """
+
+
+class ExactIndex:
+    """The exhaustive Gram-identity search behind the index protocol."""
+
+    def rebuild(self, embeddings: np.ndarray) -> None:
+        pass
+
+    def add(self, embedding: np.ndarray) -> None:
+        pass
+
+    def search(self, queries: np.ndarray, embeddings: np.ndarray,
+               k: int, *, store: CandidateStore | None = None
+               ) -> tuple[np.ndarray, np.ndarray]:
+        return candidate_scan(queries, embeddings, k, store)
+
+
+@dataclass
+class E2LSHConfig:
+    """Quantized-projection (E2LSH-style) hash parameters.
+
+    Each of ``num_tables`` tables hashes an embedding to the integer lattice
+    cell of ``num_projections`` quantized projections ``floor((x·w + b)/r)``.
+    Unlike the sign hash, the bucket id changes with *distance along* each
+    projection, not just its sign, so corpora without family/cluster
+    structure (uniform clouds, shells, low-intrinsic-dimension manifolds)
+    still spread over distance-coherent buckets.
+    """
+
+    #: Independent hash tables; more tables = higher recall, more probes.
+    #: Each table sits on its own rung of the radius ladder (see ``radius``).
+    num_tables: int = 10
+    #: Quantized projections per table; 0 = auto-size from the corpus size
+    #: at rebuild time.
+    num_projections: int = 0
+    #: Quantization width r; 0 = calibrate a per-table radius *ladder* from
+    #: the corpus at rebuild time: table t's radius is ``radius_scale``
+    #: times the t-th percentile of the sampled members' k-NN distances.
+    #: Embedding clouds whose local neighbor scale varies across the corpus
+    #: (e.g. sum-pooled GIN embeddings, where scale grows with the radial
+    #: coordinate) then always have some rungs quantizing at the right
+    #: granularity; a corpus with one global scale gets ~equal rungs and
+    #: the ladder degenerates to the textbook single radius.
+    radius: float = 0.0
+    #: Multiplier applied to the sampled k-NN distance scale(s).
+    radius_scale: float = 2.4
+    #: Members sampled (and the k used) for the radius calibration probe.
+    calibration_sample: int = 256
+    calibration_k: int = 5
+    #: Extra buckets walked per table and query: single lattice steps along
+    #: the coordinates whose cell boundary is nearest (the query-directed
+    #: multi-probe heuristic of Lv et al., restricted to ±1 perturbations);
+    #: values beyond 2·num_projections extend the walk with the cheapest
+    #: two-coordinate combinations.
+    num_probes: int = 16
+    #: Buckets larger than this contribute no candidates (0 = no cap): an
+    #: oversized bucket is a mismatched ladder rung quantizing too coarsely
+    #: for this query's neighborhood and would flood the re-rank pool.
+    bucket_cap: int = 128
+    #: Pool-size guard rails shared with the sign hash: too-sparse pools
+    #: fall back to exact search, too-dense pools (no locality to exploit,
+    #: e.g. a degenerate all-identical corpus) likewise (0 = never).
+    min_candidates: int = 16
+    max_candidates: int = 2048
+    seed: int = 0
+
+
+@dataclass
+class ANNConfig:
+    """Random-hyperplane LSH parameters for the approximate serving index."""
+
+    #: RCS size at which the advisor switches from exact to ANN search
+    #: (0 disables ANN entirely).
+    threshold: int = 1024
+    #: Independent hash tables; more tables = higher recall, more probes.
+    num_tables: int = 8
+    #: Hyperplanes (signature bits) per table; 0 = auto-size from the
+    #: indexed corpus size at rebuild time.
+    num_bits: int = 0
+    #: Extra buckets probed per table, flipping the signature bits whose
+    #: projection margin is smallest (the classic multi-probe heuristic).
+    num_probes: int = 4
+    #: Queries whose probed candidate pool is smaller than this fall back to
+    #: the exact search — the recall safety net for sparse bucket regions.
+    min_candidates: int = 16
+    #: Queries whose probed candidate pool exceeds this also fall back to
+    #: the exact scan: a pool that large means the hash sees no locality to
+    #: exploit, and one dense query must not widen the whole batch's padded
+    #: re-rank matrix (0 = never).
+    max_candidates: int = 1024
+    #: Per-bucket candidate cap shared with the E2LSH index (0 = no cap,
+    #: the sign hash's historical behavior: oversized buckets flow into the
+    #: pool and trip the ``max_candidates`` exact fallback instead).
+    bucket_cap: int = 0
+    #: PCA-whiten embeddings before hashing (re-ranking always uses the raw
+    #: distances).  Graph-encoder embeddings concentrate most variance in
+    #: very few directions — sum pooling makes "corpus size along the mean
+    #: activation ray" dominant — and sign-of-projection hashes are blind
+    #: along a dominant axis unless the cloud is equalized first.
+    whiten: bool = True
+    #: Pin the index family instead of letting the recall probe choose:
+    #: "auto" (the probe), "sign" (:class:`ANNIndex`), "e2lsh"
+    #: (:class:`E2LSHIndex`) or "exact" (:class:`ExactIndex`).  Useful for
+    #: operational pinning and for exercising one specific serving path.
+    family: str = "auto"
+    #: Let :func:`select_neighbor_index` (the sign-hash recall probe) swap
+    #: in the :class:`E2LSHIndex` when the corpus has no family/cluster
+    #: structure for sign buckets to exploit.
+    auto_e2lsh: bool = True
+    #: Members replayed by the recall probe.  The sign hash is kept only
+    #: when at most ``probe_fallback_threshold`` of them fall back to the
+    #: exact scan, its recall@5 against the exact ground truth reaches
+    #: ``probe_min_recall`` (healthy-looking buckets can still be blind to
+    #: distance on cluster-free corpora — the recall check catches that),
+    #: and the mean candidate pool stays under ``probe_max_pool_fraction``
+    #: of the corpus (a hash that re-ranks a third of the RCS per query has
+    #: degraded to a slightly-disguised exact scan).
+    probe_sample: int = 64
+    probe_fallback_threshold: float = 0.5
+    probe_min_recall: float = 0.85
+    probe_max_pool_fraction: float = 0.05
+    #: When the sign hash degrades, corpora at least this large switch to
+    #: the quantized-projection E2LSH index; smaller ones serve the plain
+    #: exact scan (at those sizes the scan is cheaper than any hash walk).
+    e2lsh_threshold: int = 4096
+    #: Parameters of the quantized-projection index the probe may select.
+    e2lsh: E2LSHConfig = field(default_factory=E2LSHConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Fail at configuration time, not from deep inside an online add
+        # when the RCS first crosses the attachment threshold.
+        if self.family not in ("auto", "sign", "e2lsh", "exact"):
+            raise ValueError(
+                f"unknown index family {self.family!r}; expected one of "
+                "'auto', 'sign', 'e2lsh', 'exact'")
+
+
+class _BucketedLSHIndex:
+    """Shared substrate of the bucketed LSH serving indexes.
+
+    Owns everything hash-family-agnostic: the [L, capacity] bucket-code
+    growth buffer, precomputed member norms, the lazily re-sorted per-table
+    bucket tables, the vectorized candidate-pair expansion, the padded
+    exact re-rank in geometric pool-size bins, and the per-query exact
+    fallback for degenerate (too sparse / too dense) pools.  Subclasses
+    provide the hash family through two hooks:
+
+    * :meth:`_fit` — derive projections/calibration from the corpus;
+    * :meth:`_hash_codes` — [Q, L] int64 bucket codes;
+    * :meth:`_probe_codes` — [Q, L, P] bucket codes to visit per query.
+
+    ``last_fallback_fraction`` records, after every :meth:`search`, the
+    fraction of queries served by the exact fallback — the observable the
+    sign-hash recall probe (:func:`select_neighbor_index`) reads to detect
+    a corpus the hash family cannot bucket usefully.
+    """
+
+    def __init__(self, config: ANNConfig | E2LSHConfig) -> None:
+        self.config = config
+        if config.num_tables < 1:
+            raise ValueError("num_tables must be positive")
+        self._fitted = False
+        self._codes: np.ndarray | None = None         # [L, capacity] growth buffer
+        self._norms: np.ndarray | None = None         # [capacity] ‖x‖² per member
+        self._size = 0
+        self._order: np.ndarray | None = None         # [L, N] members by code
+        self._sorted_codes: np.ndarray | None = None  # [L, N]
+        self._stale_sort = True
+        self.last_fallback_fraction = 0.0
+        self.last_pool_fraction = 0.0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- subclass hooks -------------------------------------------------
+    def _fit(self, embeddings: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _hash_codes(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _probe_codes(self, queries: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def rebuild(self, embeddings: np.ndarray) -> None:
+        embeddings = _as_float_matrix(embeddings)
+        n = len(embeddings)
+        self._fit(embeddings)
+        self._fitted = True
+        codes = self._hash_codes(embeddings)
+        capacity = max(4, n)
+        self._codes = np.zeros((self.config.num_tables, capacity),
+                               dtype=np.int64)
+        self._codes[:, :n] = codes.T
+        self._norms = np.zeros(capacity, dtype=embeddings.dtype)
+        self._norms[:n] = (embeddings * embeddings).sum(axis=1)
+        self._size = n
+        self._stale_sort = True
+
+    def add(self, embedding: np.ndarray) -> None:
+        embedding = _as_float_matrix(embedding).reshape(1, -1)
+        if not self._fitted:
+            self.rebuild(embedding)
+            return
+        codes = self._hash_codes(embedding)
+        if self._size == self._codes.shape[1]:
+            grown = np.zeros((self.config.num_tables, 2 * self._size),
+                             dtype=np.int64)
+            grown[:, :self._size] = self._codes[:, :self._size]
+            self._codes = grown
+            grown_norms = np.zeros(2 * self._size, dtype=self._norms.dtype)
+            grown_norms[:self._size] = self._norms[:self._size]
+            self._norms = grown_norms
+        self._codes[:, self._size] = codes[0]
+        self._norms[self._size] = float((embedding * embedding).sum())
+        self._size += 1
+        self._stale_sort = True
+
+    # ------------------------------------------------------------------
+    #: 64-bit multiplicative-hash constant (golden-ratio based).
+    _HASH_GOLD = np.uint64(0x9E3779B97F4A7C15)
+
+    def _refresh_sort(self) -> None:
+        if not self._stale_sort:
+            return
+        codes = self._codes[:, :self._size]
+        self._order = np.argsort(codes, axis=1, kind="stable")
+        self._sorted_codes = np.take_along_axis(codes, self._order, axis=1)
+        self._build_bucket_maps()
+        self._stale_sort = False
+
+    # -- open-addressing bucket maps ------------------------------------
+    # Probing visits Q·L·(1+p) buckets per search; binary search over the
+    # sorted codes costs ~100ns per lookup (the measured hot spot of the
+    # whole ANN path), while a vectorized linear-probing hash table resolves
+    # most lookups with one or two gathers.  Each table maps a bucket code
+    # to its [lo, hi) run in the sorted order arrays.
+
+    def _hash_slots(self, keys: np.ndarray) -> np.ndarray:
+        mixed = keys.astype(np.uint64) * self._HASH_GOLD
+        mixed ^= mixed >> np.uint64(29)
+        return (mixed & np.uint64(self._map_mask)).astype(np.int64)
+
+    def _build_bucket_maps(self) -> None:
+        """One flat open-addressing arena over all tables' buckets.
+
+        Slot ``table * S + h`` holds table-local bucket data; every table's
+        inserts and lookups run in the same vectorized probe rounds, so the
+        round overhead is paid once per search instead of once per table.
+        Load factor ≤ ¼ keeps linear-probe chains short.
+        """
+        n = self._size
+        num_tables = self.config.num_tables
+        size = 1 << int(np.ceil(np.log2(max(8, 4 * n))))
+        self._map_mask = size - 1
+        self._map_used = np.zeros(num_tables * size, dtype=bool)
+        self._map_key = np.zeros(num_tables * size, dtype=np.int64)
+        self._map_lo = np.zeros(num_tables * size, dtype=np.int64)
+        self._map_hi = np.zeros(num_tables * size, dtype=np.int64)
+        if n == 0:
+            return
+        codes = self._sorted_codes
+        boundary = np.empty((num_tables, n), dtype=bool)
+        boundary[:, 0] = True
+        np.not_equal(codes[:, 1:], codes[:, :-1], out=boundary[:, 1:])
+        table_id, lo = np.nonzero(boundary)
+        run_starts = np.flatnonzero(boundary.ravel())
+        hi = np.append(run_starts[1:], num_tables * n) - table_id * n
+        keys = codes[table_id, lo]
+        base = table_id * size
+        slots = base + self._hash_slots(keys)
+        pending = np.arange(len(keys))
+        while pending.size:
+            attempt = slots[pending]
+            free = ~self._map_used[attempt]
+            # Among writers hitting one free slot this round, the first
+            # wins; losers (and occupied-slot hits) probe the next slot.
+            winner_slots, first = np.unique(attempt[free], return_index=True)
+            winners = pending[free][first]
+            self._map_used[winner_slots] = True
+            self._map_key[winner_slots] = keys[winners]
+            self._map_lo[winner_slots] = lo[winners]
+            self._map_hi[winner_slots] = hi[winners]
+            placed = np.zeros(len(keys), dtype=bool)
+            placed[winners] = True
+            pending = pending[~placed[pending]]
+            slots[pending] = (base[pending]
+                              + ((slots[pending] + 1) & self._map_mask))
+
+    def _bucket_ranges(self, probe: np.ndarray) -> tuple[np.ndarray,
+                                                         np.ndarray]:
+        """[lo, hi) sorted-order ranges for every probed bucket.
+
+        ``probe`` is the [Q, L, P] code tensor; the result arrays are
+        [L, Q·P] (tables leading, matching the expansion loop's layout).
+        """
+        num_tables = self.config.num_tables
+        wanted = probe.transpose(1, 0, 2).reshape(num_tables, -1)
+        width = wanted.shape[1]
+        wanted = wanted.ravel()
+        size = self._map_mask + 1
+        base = np.repeat(np.arange(num_tables) * size, width)
+        lo = np.zeros(len(wanted), dtype=np.int64)
+        hi = np.zeros(len(wanted), dtype=np.int64)
+        slots = base + self._hash_slots(wanted)
+        pending = np.arange(len(wanted))
+        target = wanted
+        while pending.size:
+            occupied = self._map_used[slots]
+            match = occupied & (self._map_key[slots] == target)
+            hits = pending[match]
+            lo[hits] = self._map_lo[slots[match]]
+            hi[hits] = self._map_hi[slots[match]]
+            # Empty slot = code absent (count stays 0); otherwise keep
+            # probing past the collision.
+            miss = occupied & ~match
+            pending = pending[miss]
+            target = target[miss]
+            base = base[miss]
+            slots = base + ((slots[miss] + 1) & self._map_mask)
+        return lo.reshape(num_tables, width), hi.reshape(num_tables, width)
+
+    def _candidate_pairs(self, probe: np.ndarray,
+                         num_queries: int) -> tuple[np.ndarray, np.ndarray]:
+        """Unique (query, member) pairs over all probed buckets.
+
+        Buckets larger than ``config.bucket_cap`` (when positive) contribute
+        nothing: a bucket that large carries no locality information for
+        this table — typically a lattice cell of a mismatched-radius ladder
+        rung — and expanding it would only flood the re-rank pool.
+        """
+        per_query = probe.shape[2]
+        num_tables = self.config.num_tables
+        bucket_cap = getattr(self.config, "bucket_cap", 0)
+        all_lo, all_hi = self._bucket_ranges(probe)
+        counts = (all_hi - all_lo).ravel()              # [L · Q · P]
+        if bucket_cap > 0:
+            counts = np.where(counts > bucket_cap, 0, counts)
+        total = int(counts.sum())
+        if total == 0:
+            return (np.empty(0, dtype=np.int64),) * 2
+        # One vectorized ragged expansion of every [lo, hi) bucket range
+        # across all tables; the order arrays are addressed flat with each
+        # table's row offset folded into its start positions.
+        starts = (all_lo
+                  + (np.arange(num_tables) * self._size)[:, None]).ravel()
+        expanded_starts = np.repeat(starts, counts)
+        bases = np.repeat(np.cumsum(counts) - counts, counts)
+        member = self._order.ravel()[expanded_starts + np.arange(total)
+                                     - bases]
+        qid_base = np.tile(np.repeat(np.arange(num_queries), per_query),
+                           num_tables)
+        # Dedup across tables/probes on the packed (query, member) key; the
+        # sorted keys come back grouped by query with members ascending —
+        # the order the re-rank's lowest-index tie-breaking relies on.
+        keys = np.sort(np.repeat(qid_base, counts) * np.int64(self._size)
+                       + member)
+        keep = np.empty(len(keys), dtype=bool)
+        keep[0] = True
+        np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+        return np.divmod(keys[keep], self._size)
+
+    def _rerank(self, rows: np.ndarray, member: np.ndarray, pool: np.ndarray,
+                offsets: np.ndarray, queries: np.ndarray,
+                query_norms: np.ndarray, embeddings: np.ndarray,
+                k: int,
+                pool_codes: tuple[QuantizedStore,
+                                  tuple[np.ndarray, np.ndarray],
+                                  int] | None = None
+                ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact re-rank of the candidate pools of the ``rows`` queries.
+
+        The pools are padded to the subset's maximum width and the dot
+        products run as one batched GEMM against the query vectors (the
+        Gram identity again, with member norms precomputed at index time);
+        inf padding never wins the top-k.  Within a row candidates are in
+        ascending member order, so the lowest-index tie-break of
+        ``top_k_neighbors`` matches the exhaustive search.
+
+        ``pool_codes`` — a ``(store, query_context, keep)`` triple — routes
+        wide pools through the quantized tier first: the padded pool is
+        ranked in code space (int8 GEMM / PQ ADC gathers) and only the
+        ``keep = k · overfetch`` best candidates reach the float-tier GEMM,
+        so the padded float matrix is never wider than the overfetch pool
+        regardless of how dense the probed buckets were.
+        """
+        counts = pool[rows]
+        width = int(counts.max())
+        flat = (np.repeat(offsets[rows], counts)
+                + np.arange(int(counts.sum()))
+                - np.repeat(np.cumsum(counts) - counts, counts))
+        rowid = np.repeat(np.arange(len(rows)), counts)
+        position = flat - np.repeat(offsets[rows], counts)
+        members = np.zeros((len(rows), width), dtype=np.int64)
+        members[rowid, position] = member[flat]
+        if pool_codes is not None and width > pool_codes[2]:
+            members, counts = self._narrow_pools(pool_codes, rows, members,
+                                                 counts)
+            width = members.shape[1]
+        dots = (embeddings[members] @ queries[rows][:, :, None])[:, :, 0]
+        padded = np.maximum(
+            self._norms[members] + query_norms[rows][:, None] - 2.0 * dots,
+            0.0)
+        padded[np.arange(width) >= counts[:, None]] = np.inf
+        local = top_k_neighbors(padded, k)
+        return (np.take_along_axis(members, local, axis=1),
+                np.sqrt(np.take_along_axis(padded, local, axis=1)))
+
+    @staticmethod
+    def _narrow_pools(pool_codes: tuple[QuantizedStore,
+                                        tuple[np.ndarray, np.ndarray], int],
+                      rows: np.ndarray, members: np.ndarray,
+                      counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Code-space narrowing of wide padded re-rank pools.
+
+        Ranks every pool candidate in the attached store's code space and
+        keeps the ``keep`` best per row.  Pad slots are masked to inf
+        before selection; in rows with fewer than ``keep`` real candidates
+        some pads are unavoidably selected, so the surviving candidates are
+        reordered valid-first (then ascending member index — the order the
+        float re-rank's lowest-index tie-break relies on) and the narrowed
+        per-row counts mask the tail exactly as the original pads were
+        masked.  No candidate is duplicated or dropped below ``keep``.
+        """
+        store, context, keep = pool_codes
+        width = members.shape[1]
+        code = store.pool_distances(context, rows, members)
+        code[np.arange(width) >= counts[:, None]] = np.inf
+        selected = np.argpartition(code, keep - 1, axis=1)[:, :keep]
+        valid = np.take_along_axis(code, selected, axis=1) != np.inf
+        chosen = np.take_along_axis(members, selected, axis=1)
+        order = np.lexsort((chosen, ~valid), axis=1)
+        return (np.take_along_axis(chosen, order, axis=1),
+                valid.sum(axis=1))
+
+    def search(self, queries: np.ndarray, embeddings: np.ndarray,
+               k: int, *, store: CandidateStore | None = None
+               ) -> tuple[np.ndarray, np.ndarray]:
+        embeddings = np.atleast_2d(np.asarray(embeddings))
+        queries = _as_float_matrix(queries)
+        dtype = _common_dtype(queries, embeddings)
+        queries = queries.astype(dtype, copy=False)
+        n = len(embeddings)
+        if n != self._size or not self._fitted:
+            self.rebuild(embeddings)
+        k = min(k, n)
+        floor = min(max(k, self.config.min_candidates), n)
+        if n <= floor:
+            self.last_fallback_fraction = 1.0
+            self.last_pool_fraction = 1.0
+            return candidate_scan(queries, embeddings, k, store)
+        self._refresh_sort()
+        num_queries = len(queries)
+        qid, member = self._candidate_pairs(self._probe_codes(queries),
+                                            num_queries)
+        pool = np.bincount(qid, minlength=num_queries)
+        offsets = np.cumsum(pool) - pool
+        fallback = pool < floor
+        if self.config.max_candidates > 0:
+            fallback |= pool > self.config.max_candidates
+        self.last_fallback_fraction = float(fallback.mean())
+        # How much of the corpus an average query still touches (fallback
+        # queries touch all of it): the recall probe's "is this hash
+        # actually pruning anything" signal.
+        self.last_pool_fraction = float(
+            np.where(fallback, n, pool).mean() / n)
+        active = np.nonzero(~fallback)[0]
+        if active.size == 0:
+            return candidate_scan(queries, embeddings, k, store)
+
+        # Quantized re-rank pools: when a size-synced store is attached,
+        # wide pools rank their candidates in code space (one shared
+        # query context per search) and only k·overfetch survivors reach
+        # the padded float GEMM — the second half of the candidate tier.
+        pool_codes = None
+        if (store is not None and len(store) == n
+                and n >= store.config.min_size):
+            keep = k * max(store.config.overfetch, 1)
+            if keep > 0 and int(pool[active].max()) > keep:
+                pool_codes = (store, store.query_context(queries), keep)
+
+        indices = np.empty((num_queries, k), dtype=np.int64)
+        distances = np.empty((num_queries, k), dtype=dtype)
+        query_norms = (queries * queries).sum(axis=1)
+        # Re-rank in geometric pool-size bins: a handful of dense queries
+        # must not widen the padded candidate matrix of the (typically much
+        # smaller) median pool.  frexp's exponent is floor(log2) + 1.
+        levels = np.frexp(pool[active].astype(np.float64))[1]
+        for level in np.unique(levels):
+            rows = active[levels == level]
+            indices[rows], distances[rows] = self._rerank(
+                rows, member, pool, offsets, queries, query_norms,
+                embeddings, k, pool_codes)
+        if fallback.any():
+            indices[fallback], distances[fallback] = candidate_scan(
+                queries[fallback], embeddings, k, store)
+        return indices, distances
+
+
+class ANNIndex(_BucketedLSHIndex):
+    """Multi-probe random-hyperplane *sign* LSH with exact re-ranking.
+
+    Each of ``num_tables`` tables hashes an embedding to a ``num_bits``-bit
+    signature (the sign pattern of projections onto random hyperplanes,
+    taken around the corpus centroid so anisotropic embedding clouds still
+    spread over buckets).  A query gathers every member sharing a bucket in
+    any table — plus ``num_probes`` neighboring buckets per table, flipping
+    the lowest-margin signature bits — and re-ranks that candidate pool with
+    exact distances against the live embedding matrix.  Queries with too few
+    candidates fall back to the exhaustive scan, so results degrade toward
+    exact rather than toward empty.
+
+    :meth:`add` hashes only the appended row (bucket tables are re-sorted
+    lazily on the next search); :meth:`rebuild` re-hashes the corpus, which
+    is also how the index heals itself if it observes an embedding matrix
+    whose length it does not recognize.
+    """
+
+    def __init__(self, config: ANNConfig | None = None) -> None:
+        super().__init__(config or ANNConfig())
+        self._projection: np.ndarray | None = None  # [d, L·b], whitening folded in
+        self._center: np.ndarray | None = None      # [d]
+        self._num_bits = 0
+
+    # ------------------------------------------------------------------
+    def _fit(self, embeddings: np.ndarray) -> None:
+        n, dim = embeddings.shape
+        config = self.config
+        bits = config.num_bits
+        if bits <= 0:
+            # Generous signatures (2^b buckets >> n) keep buckets near
+            # pure-locality collisions; recall then comes from the
+            # multi-probe expansion rather than coarse buckets.
+            bits = int(np.clip(np.ceil(np.log2(max(n, 2))) + 3, 8, 24))
+        self._num_bits = bits
+        rng = np.random.default_rng(config.seed)
+        hyperplanes = rng.standard_normal((config.num_tables * bits, dim))
+        center = (embeddings.mean(axis=0, dtype=np.float64) if n
+                  else np.zeros(dim, dtype=np.float64))
+        # The whitening transform composes with the hyperplanes into one
+        # [d, L·b] projection, so equalizing the embedding cloud costs
+        # nothing per query; hashing then runs on the corpus' precision
+        # tier (the whitening solve itself stays float64 for stability).
+        projection = hyperplanes.T
+        if config.whiten and n > 1:
+            centered = np.asarray(embeddings, dtype=np.float64) - center
+            eigvals, eigvecs = np.linalg.eigh(centered.T @ centered / n)
+            top = float(eigvals.max())
+            if top > 0.0:
+                scale = 1.0 / np.sqrt(np.maximum(eigvals, 1e-9 * top))
+                projection = (eigvecs * scale) @ hyperplanes.T
+        self._center = center.astype(embeddings.dtype, copy=False)
+        self._projection = projection.astype(embeddings.dtype, copy=False)
+
+    def _signatures(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """([Q, L] bucket codes, [Q, L, b] signed projection margins)."""
+        proj = (x.astype(self._projection.dtype, copy=False)
+                - self._center) @ self._projection
+        proj = proj.reshape(len(x), self.config.num_tables, self._num_bits)
+        codes = (proj > 0) @ (np.int64(1) << np.arange(self._num_bits))
+        return codes, proj
+
+    def _hash_codes(self, x: np.ndarray) -> np.ndarray:
+        return self._signatures(x)[0]
+
+    def _probe_codes(self, queries: np.ndarray) -> np.ndarray:
+        """[Q, L, 1 + p] bucket codes to visit per query and table."""
+        codes, proj = self._signatures(queries)
+        probes = min(self.config.num_probes, self._num_bits)
+        out = np.empty(codes.shape + (1 + probes,), dtype=np.int64)
+        out[..., 0] = codes
+        if probes:
+            # Flip the bits closest to their hyperplane: the buckets a near
+            # neighbor is most likely to have landed in instead.
+            flips = np.argsort(np.abs(proj), axis=2)[:, :, :probes]
+            out[..., 1:] = codes[:, :, None] ^ (np.int64(1) << flips)
+        return out
+
+
+class E2LSHIndex(_BucketedLSHIndex):
+    """Multi-probe quantized-projection (E2LSH-style) LSH.
+
+    Hash family of Datar et al.: ``h(x) = floor((x·w + b) / r)`` with
+    Gaussian ``w`` and ``b ~ U[0, r)``.  Collision probability decays with
+    the true distance *along every projection* — not just its sign — so the
+    index keeps discriminating near neighbors on corpora with no cluster
+    structure at all (uniform clouds, shells), exactly where sign buckets
+    collapse into a few huge cells and degrade to the exact scan.
+
+    Per table the ``num_projections`` lattice coordinates are mixed into one
+    int64 bucket key with random odd multipliers; because the key is linear
+    in the coordinates, the multi-probe walk (stepping the coordinate whose
+    cell boundary is closest to the query, in the cheaper direction) is a
+    constant-time key increment per probe.  Candidate expansion, re-ranking
+    and the degenerate-pool exact fallback are shared with the sign hash
+    through :class:`_BucketedLSHIndex`.
+    """
+
+    #: Pair probes are drawn from combinations of this many cheapest single
+    #: steps (m choose 2 extra probe candidates per table).
+    _PAIR_POOL = 6
+
+    def __init__(self, config: E2LSHConfig | None = None) -> None:
+        super().__init__(config or E2LSHConfig())
+        self._projection: np.ndarray | None = None  # [d, L·b]
+        self._offsets: np.ndarray | None = None     # [L·b]
+        self._mix: np.ndarray | None = None         # [L, b] odd multipliers
+        self._num_projections = 0
+        self._radii: np.ndarray | None = None       # [L] ladder rungs
+
+    # ------------------------------------------------------------------
+    def _fit(self, embeddings: np.ndarray) -> None:
+        n, dim = embeddings.shape
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        projections = config.num_projections
+        if projections <= 0:
+            # More lattice coordinates sharpen buckets but cost recall per
+            # table; ~0.6·log2(n) keeps expected home-bucket sizes within
+            # the re-rank guard rails across the sizes the RCS serves.
+            projections = int(np.clip(round(0.6 * np.log2(max(n, 2))), 2, 12))
+        self._num_projections = projections
+        total = config.num_tables * projections
+        hyperplanes = rng.standard_normal((dim, total))
+        self._radii = self._calibrate_radii(embeddings, rng).astype(
+            embeddings.dtype)
+        # Offsets are uniform within each table's own cell width.
+        self._offsets = (rng.uniform(0.0, 1.0, size=(config.num_tables,
+                                                     projections))
+                         * self._radii[:, None]).reshape(total).astype(
+                             embeddings.dtype)
+        self._projection = hyperplanes.astype(embeddings.dtype, copy=False)
+        # Odd multipliers mix lattice coordinates into one int64 key with
+        # wraparound arithmetic; a cross-bucket key collision only adds a
+        # few spurious candidates to the exact re-rank.
+        self._mix = (rng.integers(1, np.iinfo(np.int64).max,
+                                  size=(config.num_tables, projections),
+                                  dtype=np.int64) | np.int64(1))
+
+    def _calibrate_radii(self, embeddings: np.ndarray,
+                         rng: np.random.Generator) -> np.ndarray:
+        """The [L] radius ladder from the sampled k-NN distance spread.
+
+        The hash is only useful where one lattice cell is on the order of
+        the distances the serving path must resolve.  Rung t quantizes at
+        ``radius_scale`` times the t-th percentile of the sampled members'
+        ``calibration_k``-NN distances, so corpora whose local neighbor
+        scale varies (radially growing GIN clouds) are covered at every
+        scale; a fixed ``config.radius`` pins every rung instead.
+        """
+        config = self.config
+        num_tables = config.num_tables
+        if config.radius > 0:
+            return np.full(num_tables, float(config.radius),
+                           dtype=np.float64)
+        n = len(embeddings)
+        sample = min(config.calibration_sample, n)
+        if sample < 2:
+            return np.ones(num_tables, dtype=np.float64)
+        idx = rng.choice(n, size=sample, replace=False)
+        k = min(config.calibration_k + 1, n)   # +1: the member finds itself
+        _, dists = exact_search(embeddings[idx], embeddings, k)
+        scales = dists[:, -1][dists[:, -1] > 0]
+        if len(scales) == 0:
+            # Degenerate corpus (duplicates everywhere): any radius maps it
+            # to one bucket per table and the dense-pool fallback serves it
+            # exactly.
+            return np.ones(num_tables, dtype=np.float64)
+        percentiles = 100.0 * (np.arange(num_tables) + 0.5) / num_tables
+        rungs = config.radius_scale * np.percentile(
+            np.asarray(scales, dtype=np.float64), percentiles)
+        return np.maximum(rungs, 1e-12)
+
+    def _lattice(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """([Q, L, b] lattice coordinates, [Q, L, b] in-cell fractions)."""
+        scaled = (x.astype(self._projection.dtype, copy=False)
+                  @ self._projection + self._offsets)
+        scaled = scaled.reshape(len(x), self.config.num_tables,
+                                self._num_projections)
+        scaled = scaled / self._radii[None, :, None]
+        coords = np.floor(scaled)
+        return coords.astype(np.int64), scaled - coords
+
+    def _hash_codes(self, x: np.ndarray) -> np.ndarray:
+        coords, _ = self._lattice(x)
+        return (coords * self._mix).sum(axis=2)
+
+    def _probe_codes(self, queries: np.ndarray) -> np.ndarray:
+        """[Q, L, 1 + p] bucket keys: home cell + nearest lattice walks.
+
+        A near neighbor most likely sits one lattice step along the
+        coordinate whose cell boundary the query is closest to: stepping
+        down costs the in-cell fraction, stepping up its complement, and a
+        two-coordinate walk costs the sum.  The key is linear in the
+        coordinates, so every probe is a couple of ±multiplier increments.
+        """
+        coords, frac = self._lattice(queries)
+        codes = (coords * self._mix).sum(axis=2)
+        b = self._num_projections
+        # Single steps: [Q, L, 2b] (down then up per coordinate).
+        costs = np.concatenate([frac, 1.0 - frac], axis=2)
+        deltas = np.broadcast_to(
+            np.concatenate([-self._mix, self._mix], axis=1), costs.shape)
+        pool = min(self._PAIR_POOL, 2 * b)
+        if self.config.num_probes > 2 * b and pool >= 2:
+            # Extend the walk with pairs of the cheapest single steps
+            # (skipping the degenerate down+up of one coordinate).  Probe
+            # *sets* are all that matters — buckets are visited, not ranked
+            # — so argpartition replaces every argsort on this path.
+            top = np.argpartition(costs, pool - 1, axis=2)[:, :, :pool]
+            top_costs = np.take_along_axis(costs, top, axis=2)
+            top_deltas = np.take_along_axis(deltas, top, axis=2)
+            left, right = np.triu_indices(pool, 1)
+            pair_costs = top_costs[:, :, left] + top_costs[:, :, right]
+            same = (top % b)[:, :, left] == (top % b)[:, :, right]
+            pair_costs = np.where(same, np.inf, pair_costs)
+            costs = np.concatenate([costs, pair_costs], axis=2)
+            deltas = np.concatenate(
+                [deltas, top_deltas[:, :, left] + top_deltas[:, :, right]],
+                axis=2)
+        probes = min(self.config.num_probes, costs.shape[2])
+        out = np.empty(codes.shape + (1 + probes,), dtype=np.int64)
+        out[..., 0] = codes
+        if probes:
+            if probes < costs.shape[2]:
+                walk = np.argpartition(costs, probes - 1,
+                                       axis=2)[:, :, :probes]
+            else:
+                walk = np.broadcast_to(np.arange(probes), costs.shape[:2]
+                                       + (probes,))
+            out[..., 1:] = codes[:, :, None] + np.take_along_axis(
+                deltas, walk, axis=2)
+        return out

@@ -1,0 +1,67 @@
+"""The sign-hash recall probe: pick the serving index a corpus supports.
+
+:func:`select_neighbor_index` builds the cheap sign-hash index first,
+replays a sample of the corpus against the exact scan, and keeps the
+index only when its recall and fallback fraction clear the configured
+floors — otherwise it tries the E2LSH ladder and finally falls back to
+:class:`~repro.core.serving.indexes.ExactIndex`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .indexes import (ANNConfig, ANNIndex, E2LSHIndex, ExactIndex,
+                      NeighborIndex)
+from .kernels import exact_search
+
+def select_neighbor_index(embeddings: np.ndarray,
+                          config: ANNConfig) -> NeighborIndex:
+    """The sign-hash recall probe: pick the serving index a corpus supports.
+
+    Builds the sign-hash :class:`ANNIndex` and replays a sample of the
+    corpus' own members through it, scoring two health signals against the
+    exact ground truth on the same sample: the fraction of queries that
+    fell back to the exact scan (degenerate pools), and recall@5 (sign
+    buckets can be perfectly sized yet carry no distance information on a
+    cluster-free corpus).  A corpus with family/cluster structure passes
+    both checks and keeps the sign hash; a degraded corpus switches to the
+    quantized-projection :class:`E2LSHIndex` when it is large enough for
+    any hash walk to beat the scan, and to the plain :class:`ExactIndex`
+    below that size.  ``config.family`` pins one family and skips the probe.
+    """
+    if config.family != "auto":
+        if config.family == "exact":
+            return ExactIndex()
+        pinned: NeighborIndex = (E2LSHIndex(config.e2lsh)
+                                 if config.family == "e2lsh"
+                                 else ANNIndex(config))
+        pinned.rebuild(embeddings)
+        return pinned
+    index = ANNIndex(config)
+    index.rebuild(embeddings)
+    if not config.auto_e2lsh:
+        return index
+    n = len(embeddings)
+    sample = min(config.probe_sample, n)
+    if sample == 0:
+        return index
+    rng = np.random.default_rng(config.seed)
+    probe = rng.choice(n, size=sample, replace=False)
+    queries = np.asarray(embeddings)[probe]
+    k = min(5, n)
+    approx, _ = index.search(queries, embeddings, k)
+    fallback = index.last_fallback_fraction
+    pool_fraction = index.last_pool_fraction
+    exact, _ = exact_search(queries, embeddings, k)
+    recall = float(np.mean([len(set(a) & set(e)) / k
+                            for a, e in zip(approx, exact)]))
+    if (fallback <= config.probe_fallback_threshold
+            and recall >= config.probe_min_recall
+            and pool_fraction <= config.probe_max_pool_fraction):
+        return index
+    if n >= config.e2lsh_threshold:
+        e2lsh = E2LSHIndex(config.e2lsh)
+        e2lsh.rebuild(embeddings)
+        return e2lsh
+    return ExactIndex()

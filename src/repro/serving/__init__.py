@@ -6,9 +6,13 @@ per-shard runtime and the bit-for-bit top-k merge;
 :mod:`~repro.serving.breaker` the per-shard tier-degradation circuit
 breaker; :mod:`~repro.serving.worker` the worker loop; and
 :mod:`~repro.serving.supervisor` the scatter-gather server with crash
-restarts, deadlines and partial results.  See ``docs/serving.md``.
+restarts, deadlines and partial results (the gather is
+multi-outstanding: ``submit``/``collect`` route responses by request
+id).  :mod:`~repro.serving.batching` coalesces the daemon's stdin
+stream into micro-batches.  See ``docs/serving.md``.
 """
 
+from .batching import BatchingConfig, iter_batches
 from .breaker import BreakerConfig, ShardHealth, TierBreaker
 from .sharding import (FULL_LADDER, ShardRuntime, ShardSpec, merge_top_k,
                        partition_members, tier_ladder)
@@ -18,6 +22,8 @@ from .supervisor import (DegradedServiceError, RetryPolicy,
 from .worker import ShardRequest, ShardResponse, shard_worker_main
 
 __all__ = [
+    "BatchingConfig",
+    "iter_batches",
     "BreakerConfig",
     "ShardHealth",
     "TierBreaker",

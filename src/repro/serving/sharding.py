@@ -24,10 +24,10 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..core.ivf import IVFStore
-from ..core.predictor import (ANNConfig, INT8_EXACT_MAX_DIM,
-                              CandidateStore, QuantizationConfig,
-                              candidate_scan, exact_search,
-                              select_neighbor_index, select_quantizer)
+from ..core.serving import (ANNConfig, INT8_EXACT_MAX_DIM,
+                            CandidateStore, QuantizationConfig,
+                            candidate_scan, exact_search,
+                            select_neighbor_index, select_quantizer)
 from .breaker import BreakerConfig, ShardHealth, TierBreaker
 
 #: The full tier-degradation ladder, best tier first.  Each shard serves
@@ -53,7 +53,7 @@ def merge_top_k(indices_parts: list[np.ndarray],
     """Merge per-shard ([Q, k_s] global ids, [Q, k_s] distances) to top-k.
 
     Ties break by lowest global member index — the same rule as
-    :func:`~repro.core.predictor.top_k_neighbors` — so a merge over shards
+    :func:`~repro.core.serving.top_k_neighbors` — so a merge over shards
     that each searched exactly reproduces the single-process result
     bit-for-bit.  Shards may contribute fewer than ``k`` columns (slices
     smaller than k, or shards cut from a degraded response); the merge
@@ -79,7 +79,7 @@ def tier_ladder(dim: int, quantization: QuantizationConfig | None
 
     Without a quantized tier there is nothing to demote: the ladder is the
     exact scan alone.  With one, the top rung follows the
-    :func:`~repro.core.predictor.select_quantizer` width rule (PQ past the
+    :func:`~repro.core.serving.select_quantizer` width rule (PQ past the
     int8 exactness bound) and every demotion path ends at the exact scan.
     """
     if quantization is None or not quantization.enabled:

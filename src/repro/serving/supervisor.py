@@ -21,9 +21,16 @@ only component with a failure policy:
   from cut shards are discarded by request id, never merged into a later
   answer.
 
-The gather loop is synchronous — one outstanding request at a time —
-which keeps the retry story trivially correct: the only request a dead
-shard can owe is the current one.
+The gather is **multi-outstanding**: :meth:`ShardedServer.submit` scatters
+a request and returns its id immediately, :meth:`ShardedServer.collect`
+blocks until that request completes (or its deadline cuts it), and a
+``req_id -> pending`` map routes every response — including ones arriving
+for a *different* outstanding request — to the request that owns it.
+Late answers whose request was already collected or cut resolve to no
+map entry and are discarded; a dead shard owes every outstanding request
+that still lists it pending, and a revive resends them all in submission
+order.  :meth:`ShardedServer.search` is submit + collect, so single-shot
+callers keep the synchronous behavior.
 """
 
 from __future__ import annotations
@@ -38,7 +45,7 @@ import numpy as np
 
 from typing import TYPE_CHECKING, Any
 
-from ..core.predictor import ANNConfig, QuantizationConfig, Recommendation
+from ..core.serving import ANNConfig, QuantizationConfig, Recommendation
 from ..testbed.faults import FaultPlan
 from .breaker import BreakerConfig
 from .sharding import ShardSpec, merge_top_k, partition_members, tier_ladder
@@ -93,6 +100,18 @@ class ShardedSearchResult:
     missing: tuple[int, ...]
     tiers: dict[int, str]
     latency: float = 0.0                     # seconds, supervisor-side
+
+
+@dataclass
+class _PendingRequest:
+    """Gather-side state of one outstanding (submitted, uncollected)
+    request: the entry behind the ``req_id -> pending`` map."""
+
+    request: ShardRequest
+    pending: set[int]                        # shards still owing an answer
+    responses: dict[int, ShardResponse] = field(default_factory=dict)
+    start: float = 0.0                       # monotonic submission stamp
+    deadline: float | None = None
 
 
 @dataclass
@@ -154,6 +173,7 @@ class ShardedServer:
         self._tiers: dict[int, str] = {s: self.ladder[0]
                                        for s in range(self.num_shards)}
         self._req_id = 0
+        self._outstanding: dict[int, _PendingRequest] = {}
         self._embed_batches = 0
         self._stopped = False
         for s in range(self.num_shards):
@@ -249,12 +269,23 @@ class ShardedServer:
     # -- serving -----------------------------------------------------------
     def search(self, queries: np.ndarray, k: int,
                deadline: float | None = None) -> ShardedSearchResult:
-        """Scatter-gather top-k over the healthy shards.
+        """Scatter-gather top-k over the healthy shards (submit + collect).
 
         ``deadline`` (seconds, overrides the server default) bounds the
         gather: shards still pending at expiry are cut and the merge is
         returned degraded.  With every shard cut or failed the request is
         unanswerable and :class:`DegradedServiceError` is raised.
+        """
+        return self.collect(self.submit(queries, k, deadline=deadline))
+
+    def submit(self, queries: np.ndarray, k: int,
+               deadline: float | None = None) -> int:
+        """Scatter a request to the healthy shards and return its id.
+
+        The request joins the outstanding map immediately; any number may
+        be in flight at once (the daemon's micro-batch pipeline submits
+        the next batch while the previous one gathers).  Collect each id
+        exactly once with :meth:`collect`.
         """
         if self._stopped:
             raise RuntimeError("server is stopped")
@@ -273,63 +304,106 @@ class ShardedServer:
                 continue
             # Lazily revive shards found dead between requests (e.g. cut
             # by a previous deadline and crashed while we were not
-            # looking).
+            # looking).  The revive resends every older outstanding
+            # request the shard still owes before this one is queued.
             if not self._procs[shard_id].is_alive():
-                if not self._revive(shard_id):
+                if not self._revive_and_resend(shard_id):
                     continue
             self._req_queues[shard_id].put(request)
             pending.add(shard_id)
-        responses = self._gather(request, pending, deadline, start)
-        return self._merge(request, responses, start)
+        self._outstanding[request.req_id] = _PendingRequest(
+            request=request, pending=pending, start=start,
+            deadline=deadline)
+        return request.req_id
 
-    def _gather(self, request: ShardRequest, pending: set[int],
-                deadline: float | None, start: float
-                ) -> dict[int, ShardResponse]:
-        responses: dict[int, ShardResponse] = {}
-        while pending:
-            if deadline is not None:
-                remaining = deadline - (time.monotonic() - start)
+    def collect(self, req_id: int) -> ShardedSearchResult:
+        """Gather the merged answer for one submitted request.
+
+        Responses for *other* outstanding requests that arrive while this
+        one waits are routed to their own map entries, never dropped;
+        responses whose request was already collected (or cut by its
+        deadline) resolve to no entry and are discarded.
+        """
+        state = self._outstanding.get(req_id)
+        if state is None:
+            raise KeyError(
+                f"request {req_id} is unknown or already collected")
+        while state.pending:
+            if state.deadline is not None:
+                remaining = state.deadline - (time.monotonic() - state.start)
                 if remaining <= 0:
                     break                     # cut whatever is still pending
             else:
                 remaining = None
-            self._rescue_dead(request, pending, remaining, start)
+            self._rescue_dead(remaining)
             timeout = _POLL if remaining is None else min(_POLL, remaining)
             try:
-                resp = self._resp_queue.get(timeout=max(timeout, 1e-4))
+                resp: ShardResponse = self._resp_queue.get(
+                    timeout=max(timeout, 1e-4))
             except queue_module.Empty:
                 continue
-            if resp.req_id != request.req_id:
-                continue                      # late answer from a cut shard
-            if resp.shard_id not in pending:
-                continue                      # duplicate after a resend race
-            pending.discard(resp.shard_id)
-            self._tiers[resp.shard_id] = resp.tier
-            if resp.ok:
-                responses[resp.shard_id] = resp
-            else:
-                self.last_errors[resp.shard_id] = resp.error or "unknown"
-        return responses
+            self._route(resp)
+        # Dropping the entry before merging makes any answer that arrives
+        # past this point (a deadline-cut straggler) unroutable by
+        # construction — it can never be mis-attributed to a later request.
+        del self._outstanding[req_id]
+        return self._merge(state)
 
-    def _rescue_dead(self, request: ShardRequest, pending: set[int],
-                     remaining: float | None, start: float) -> None:
-        """Restart-and-resend for pending shards whose worker died or hung.
+    def _route(self, resp: ShardResponse) -> None:
+        """File one response under the outstanding request that owns it."""
+        state = self._outstanding.get(resp.req_id)
+        if state is None:
+            return                            # late answer from a cut request
+        if resp.shard_id not in state.pending:
+            return                            # duplicate after a resend race
+        state.pending.discard(resp.shard_id)
+        self._tiers[resp.shard_id] = resp.tier
+        if resp.ok:
+            state.responses[resp.shard_id] = resp
+        else:
+            self.last_errors[resp.shard_id] = resp.error or "unknown"
 
-        A dead worker is revived only while the remaining budget can absorb
-        the backoff sleep; otherwise the shard stays pending and the
-        deadline cuts it (the *next* request's scatter revives it).
+    def _owed(self, shard_id: int) -> list[_PendingRequest]:
+        """Outstanding requests still waiting on a shard, oldest first
+        (dict order is submission order: req_ids ascend)."""
+        return [state for state in self._outstanding.values()
+                if shard_id in state.pending]
+
+    def _revive_and_resend(self, shard_id: int) -> bool:
+        """Revive a dead shard and resend everything it still owes."""
+        if not self._revive(shard_id):
+            for state in self._owed(shard_id):
+                state.pending.discard(shard_id)     # failed for good
+            return False
+        for state in self._owed(shard_id):
+            self._req_queues[shard_id].put(state.request)
+        return True
+
+    def _rescue_dead(self, remaining: float | None) -> None:
+        """Restart-and-resend for owed shards whose worker died or hung.
+
+        A dead worker is revived only while the collecting request's
+        remaining budget can absorb the backoff sleep; otherwise the shard
+        stays pending and the deadline cuts it (a later submit or collect
+        revives it).
         """
-        for shard_id in sorted(pending):
+        owed: set[int] = set()
+        for state in self._outstanding.values():
+            owed |= state.pending
+        for shard_id in sorted(owed):
             proc = self._procs[shard_id]
             dead = not proc.is_alive()
             if not dead and self.heartbeat_timeout > 0:
                 now = time.monotonic()
-                # Hung = we have been waiting at least a full timeout since
-                # the scatter AND the worker's heartbeat is that stale too
-                # (an idle worker's old stamp alone is not a hang).
+                # Hung = the oldest request owing this shard has waited at
+                # least a full timeout since its scatter AND the worker's
+                # heartbeat is that stale too (an idle worker's old stamp
+                # alone is not a hang).
+                oldest = min(state.start
+                             for state in self._owed(shard_id))
                 stale = (now - self._heartbeats[shard_id].value
                          > self.heartbeat_timeout
-                         and now - start > self.heartbeat_timeout)
+                         and now - oldest > self.heartbeat_timeout)
                 if stale:                     # hung mid-request: crash it
                     proc.kill()
                     proc.join(timeout=1.0)
@@ -340,14 +414,11 @@ class ShardedServer:
             if (remaining is not None
                     and self.retry.delay(attempt) >= remaining):
                 continue                      # let the deadline cut it
-            if self._revive(shard_id):
-                self._req_queues[shard_id].put(request)
-            else:
-                pending.discard(shard_id)     # failed for good
+            self._revive_and_resend(shard_id)
 
-    def _merge(self, request: ShardRequest,
-               responses: dict[int, ShardResponse],
-               start: float) -> ShardedSearchResult:
+    def _merge(self, state: _PendingRequest) -> ShardedSearchResult:
+        request, responses, start = (state.request, state.responses,
+                                     state.start)
         if not responses:
             raise DegradedServiceError(
                 "no healthy shard answered the request "

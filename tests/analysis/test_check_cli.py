@@ -53,10 +53,11 @@ class TestExplainAndList:
         out = capsys.readouterr().out
         assert "REP001" in out and "Contract" in out and "allow[REP001]" in out
 
-    def test_list_rules_names_all_five(self, capsys):
+    def test_list_rules_names_all_six(self, capsys):
         assert main(["check", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005",
+                        "REP006"):
             assert rule_id in out
 
 

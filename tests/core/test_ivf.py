@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-import repro.core.predictor as predictor_module
+import repro.core.serving.quantizers as quantizers_module
 from repro.core.advisor import AutoCE, AutoCEConfig
 from repro.core.dml import DMLConfig
 from repro.core.graph import FeatureGraph
@@ -51,15 +51,20 @@ def ivf_config(mode: str = "int8", **overrides) -> QuantizationConfig:
 
 @pytest.fixture
 def count_kmeans(monkeypatch):
-    """Count every seeded_kmeans call (codebooks *and* coarse training)."""
+    """Count every seeded_kmeans call (codebooks *and* coarse training).
+
+    Patched on ``repro.core.serving.quantizers`` — the canonical home after
+    the predictor split; both PQ codebook training and the IVF coarse
+    trainer resolve the function through that module.
+    """
     calls = {"n": 0}
-    real = predictor_module.seeded_kmeans
+    real = quantizers_module.seeded_kmeans
 
     def counting(*args, **kwargs):
         calls["n"] += 1
         return real(*args, **kwargs)
 
-    monkeypatch.setattr(predictor_module, "seeded_kmeans", counting)
+    monkeypatch.setattr(quantizers_module, "seeded_kmeans", counting)
     return calls
 
 

@@ -135,6 +135,59 @@ class TestCrashRecovery:
             assert server.restarts == {1: 1}
 
 
+class TestMultiOutstanding:
+    """The submit/collect gather: several requests in flight at once,
+    responses routed home by request id."""
+
+    def test_out_of_order_collect_merges_each_requests_own_answer(self):
+        embeddings = make_corpus()
+        q1, q2 = make_queries(seed=1), make_queries(seed=2)
+        want1_i, want1_d = exact_search(q1, embeddings, 5)
+        want2_i, want2_d = exact_search(q2, embeddings, 5)
+        with ShardedServer(embeddings, num_shards=3) as server:
+            r1 = server.submit(q1, 5)
+            r2 = server.submit(q2, 5)
+            # Collecting the *second* request first forces the gather to
+            # route request 1's responses to its own map entry meanwhile.
+            res2 = server.collect(r2)
+            res1 = server.collect(r1)
+        for result, (want_i, want_d) in ((res1, (want1_i, want1_d)),
+                                         (res2, (want2_i, want2_d))):
+            assert not result.degraded
+            assert np.array_equal(result.indices, want_i)
+            assert np.array_equal(result.distances, want_d)
+
+    def test_collecting_a_request_twice_raises(self):
+        with ShardedServer(make_corpus(), num_shards=2) as server:
+            req = server.submit(make_queries(), 3)
+            server.collect(req)
+            with pytest.raises(KeyError, match="already collected"):
+                server.collect(req)
+
+    def test_straddling_slow_shard_never_misattributes(self):
+        """Regression (multi-outstanding gather): a late answer from a
+        deadline-cut request must not be merged into — or satisfy the
+        pending set of — a *different* request submitted before the
+        straggler woke up."""
+        embeddings = make_corpus()
+        q1, q2 = make_queries(seed=1), make_queries(seed=2)
+        want2_i, want2_d = exact_search(q2, embeddings, 5)
+        plan = FaultPlan(slow_at={1: (1, 0.6)})   # stall shard 1 on req 1
+        with ShardedServer(embeddings, num_shards=2,
+                           fault_plan=plan) as server:
+            r1 = server.submit(q1, 5, deadline=0.15)
+            r2 = server.submit(q2, 5)             # straddles the stall
+            cut = server.collect(r1)
+            assert cut.degraded and cut.missing == (1,)
+            # Shard 1 wakes up, answers request 1 (now unroutable — it was
+            # collected), then serves request 2 for real.  Request 2 must
+            # get shard 1's answer to *its own* queries, bit-for-bit.
+            fresh = server.collect(r2)
+            assert not fresh.degraded
+            assert np.array_equal(fresh.indices, want2_i)
+            assert np.array_equal(fresh.distances, want2_d)
+
+
 class TestDeadline:
     def test_slow_shard_is_cut_and_the_response_flagged(self):
         embeddings = make_corpus()

@@ -338,6 +338,38 @@ class TestServeFaultTolerance:
         assert "served 2 recommendations" in captured.out
         assert "/no/such/dataset.npz -> ERROR:" in captured.err
 
+    def test_daemon_survives_corrupt_dataset_and_batches_bitforbit(
+            self, advisor_file, dataset_files, tmp_path, capsys, monkeypatch):
+        """The daemon stream: good paths, a missing path and a corrupt
+        dataset file.  The process must survive all three, serve the good
+        ones, and the coalesced batched answers must be bit-for-bit equal
+        to a serial (--max-batch 1) run of the same stream."""
+        import io
+
+        corrupt = tmp_path / "corrupt.npz"
+        corrupt.write_bytes(b"not an npz payload at all")
+        lines = (f"{dataset_files[0]}\n/no/such/dataset.npz\n{corrupt}\n"
+                 f"{dataset_files[1]}\n{dataset_files[0]}\n")
+
+        def run(*extra):
+            monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+            code = main(["serve", "--daemon", "--advisor", advisor_file,
+                         *extra])
+            assert code == 0
+            return capsys.readouterr()
+
+        serial = run("--max-batch", "1", "--batch-window-ms", "0")
+        coalesced = run()
+        picks = lambda out: [line for line in out.splitlines()
+                             if "->" in line and "ERROR" not in line]
+        assert picks(coalesced.out) == picks(serial.out)
+        assert len(picks(coalesced.out)) == 3
+        for captured in (serial, coalesced):
+            assert "served 3 recommendations" in captured.out
+            assert "/no/such/dataset.npz -> ERROR:" in captured.err
+            assert f"{corrupt} -> ERROR:" in captured.err
+            assert "Traceback" not in captured.err
+
     def test_degraded_storage_is_reported(self, advisor_file, dataset_files,
                                           tmp_path, capsys, monkeypatch):
         import repro.utils.cache as cache_module
