@@ -37,6 +37,12 @@ three advisor stages the perf PR targets:
   quantized scans: flat int8 (d = 32 GIN embeddings) and flat PQ (d = 512
   wide corpus) vs the same stores behind an ``IVFStore`` probing
   ``nprobe`` of ~sqrt(N) seeded-k-means cells, recall@k vs exact;
+* ``e2e_advisor_loop``  — the closed loop: histogram baseline, every fixed
+  candidate model and the advisor-picked model planning and executing
+  small single-/multi-table workloads through the provider layer, scored
+  on true-recost plan cost, simulated latency and TrueCard plan
+  agreement, with an internal deterministic double run (before = the
+  average fixed-model policy's simulated latency, after = the advisor's);
 * ``restart_warm``      — ``load_advisor`` with persisted quantizer state
   (format v2) vs the retrain-on-attach path, at 1024 and 8192 members:
   the warm load must stay flat as the corpus grows 8× and run zero
@@ -71,6 +77,7 @@ from repro.datagen.spec import random_spec
 from repro.utils.rng import rng_from_seed
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_e2e_loop import bench_e2e_loop  # noqa: E402
 from synth import (MODELS, cluster_free_embeddings, family_corpus,  # noqa: E402
                    synthetic_corpus, wide_family_embeddings)
 
@@ -837,6 +844,7 @@ BENCHES = {
     "ivf_search": bench_ivf_search,
     "restart_warm": bench_restart_warm,
     "daemon_microbatch": bench_daemon_microbatch,
+    "e2e_advisor_loop": bench_e2e_loop,
 }
 
 

@@ -30,6 +30,7 @@ DEFAULT_ALLOWLIST = frozenset({
     "serving/batching.py",
     "engine/e2e.py",
     "engine/execution.py",
+    "engine/providers.py",
     "experiments/fig12_online_learning.py",
 })
 
@@ -45,7 +46,8 @@ whose job is timing: utils/timing.py, testbed/metrics.py,
 testbed/runner.py (latency labeling), serving/supervisor.py,
 serving/worker.py and serving/batching.py (deadlines, heartbeats and
 the micro-batch window), and the latency
-experiments (engine/e2e.py, engine/execution.py,
+experiments (engine/e2e.py, engine/execution.py, engine/providers.py —
+the provider layer times every estimator source call —
 fig12_online_learning.py).  Anywhere else a clock read is either dead
 weight or — worse — feeding a value that varies run to run into a path
 the determinism matrix believes is pure."""

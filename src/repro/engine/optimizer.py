@@ -1,9 +1,12 @@
 """Selinger-style join-order optimization with injected cardinalities.
 
 Enumerates left-deep plans over the connected subsets of a query's join
-graph.  Every sub-plan's cardinality is obtained from the CE model under
-test (``estimate(sub_query)``), exactly mirroring how the paper injects
-estimated cardinalities of all sub-plan queries into PostgreSQL.
+graph.  Every sub-plan's cardinality is obtained from the
+:class:`~repro.engine.providers.CardinalityProvider` under test
+(``provider.estimate(sub_query)``), exactly mirroring how the paper
+injects estimated cardinalities of all sub-plan queries into PostgreSQL.
+Bare ``Callable[[Query], float]`` estimators and fitted CE models are
+coerced through :func:`~repro.engine.providers.as_provider`.
 """
 
 from __future__ import annotations
@@ -11,17 +14,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..ce.base import CEModel
 from ..db.schema import Dataset
 from ..workload.query import Query
 from .cost import CostModel
 from .plans import JoinNode, PlanNode, ScanNode
+from .providers import CardinalityProvider, as_provider
 
 
 @dataclass
 class PlannedQuery:
     plan: PlanNode
     cost: float
-    #: Number of estimator invocations the optimizer made.
+    #: Number of distinct sub-plan estimates the optimizer requested (the
+    #: provider may have served some of them from its cross-query memo).
     estimator_calls: int
 
 
@@ -33,8 +39,10 @@ class Optimizer:
         self.cost_model = cost_model or CostModel()
 
     def plan(self, query: Query,
-             estimate: Callable[[Query], float]) -> PlannedQuery:
-        """Build the cheapest plan for ``query`` under the given estimator."""
+             estimate: CardinalityProvider | CEModel | Callable[[Query], float],
+             ) -> PlannedQuery:
+        """Build the cheapest plan for ``query`` under the given provider."""
+        provider = as_provider(estimate)
         tables = tuple(sorted(query.tables))
         calls = 0
         card_cache: dict[tuple[str, ...], float] = {}
@@ -43,7 +51,8 @@ class Optimizer:
             nonlocal calls
             key = tuple(sorted(subset))
             if key not in card_cache:
-                card_cache[key] = max(1.0, float(estimate(query.restrict(key))))
+                card_cache[key] = max(
+                    1.0, float(provider.estimate(query.restrict(key))))
                 calls += 1
             return card_cache[key]
 

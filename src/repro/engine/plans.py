@@ -59,6 +59,21 @@ class JoinNode:
 PlanNode = ScanNode | JoinNode
 
 
+def plan_signature(plan: PlanNode) -> str:
+    """Canonical structural key of a plan: join order, join methods and
+    scan methods — *without* the estimated cardinalities.
+
+    Two optimizers that chose the same physical plan from different
+    estimates produce the same signature, which is exactly the equality
+    "plan-choice agreement" metrics need (the annotated estimates are a
+    debugging aid, not part of the plan's identity).
+    """
+    if isinstance(plan, ScanNode):
+        return f"{plan.method}({plan.table})"
+    return (f"{plan.method}[{plan.fk.child}.{plan.fk.fk_column}]"
+            f"({plan_signature(plan.left)},{plan_signature(plan.right)})")
+
+
 def plan_joins(plan: PlanNode) -> list[JoinNode]:
     """All join nodes of a plan, outermost first."""
     joins: list[JoinNode] = []

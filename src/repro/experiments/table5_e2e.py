@@ -1,7 +1,8 @@
 """Table V: end-to-end latency in the PostgreSQL substitute.
 
 For single-table and multi-table workloads, every estimator's cardinalities
-are injected into the optimizer and the chosen plans are executed for real.
+are injected into the optimizer (through the provider layer of
+:mod:`repro.engine.providers`) and the chosen plans are executed for real.
 Reported per method: total running time + total inference latency, and the
 improvement of the *total* over the default PostgreSQL estimator.
 
@@ -10,21 +11,25 @@ slow-inference models (NeuroCard/UAE) lose on single tables where inference
 dominates; fast query-driven models (LW-NN) win single-table but lose
 multi-table where plan quality dominates; AutoCE(w_a=0.5) is best
 single-table, AutoCE(w_a=1.0) best multi-table.
+
+The AutoCE rows are *recommendations over already-fitted models*: when the
+advisor picks a model the sweep has measured, the measured result is reused
+(same totals bit-for-bit) instead of re-planning and re-executing the whole
+workload — dedupe is by fitted-model identity, so two weights that pick the
+same model share one run.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from ..ce.base import TrainingContext
+from ..ce.base import CEModel, TrainingContext
 from ..ce.postgres import PostgresEstimator
 from ..ce.template_base import TemplateModel
 from ..datagen.multi_table import generate_dataset
 from ..datagen.spec import random_spec
-from ..engine.e2e import TrueCardEstimator, run_e2e
-from ..testbed.runner import TestbedConfig
+from ..engine.e2e import E2EResult, TrueCardEstimator, run_e2e
 from ..utils.cache import DiskCache, stable_hash
 from ..workload.generator import generate_workload
 from .common import CANDIDATES, ExperimentSuite, format_table, get_suite
@@ -33,14 +38,21 @@ from .corpus import DEFAULT_CACHE_DIR
 METHODS = ("PostgreSQL", "TrueCard") + CANDIDATES + (
     "AutoCE(w_a=0.5)", "AutoCE(w_a=1.0)")
 
+#: The advisor rows and the accuracy weight each one serves under.
+_ADVISOR_WEIGHTS = {"AutoCE(w_a=0.5)": 0.5, "AutoCE(w_a=1.0)": 1.0}
+
 
 @dataclass
 class Table5Result:
     #: totals[kind][method] = (running_s, inference_s)
     totals: dict[str, dict[str, tuple[float, float]]]
-    #: improvement[kind][method] vs the PostgreSQL estimator (total time)
+    #: improvement[kind][method] vs the PostgreSQL estimator (total time);
+    #: NaN when the PostgreSQL total is ~zero (rendered "n/a").
     improvement: dict[str, dict[str, float]]
     text: str
+    #: per-kind diagnostics: advisor picks and how many workload runs the
+    #: fitted-model dedupe skipped.
+    stats: dict[str, dict] = field(default_factory=dict)
 
 
 def _all_subtemplates(dataset, queries):
@@ -54,9 +66,17 @@ def _all_subtemplates(dataset, queries):
 
 
 def _run_kind(suite: ExperimentSuite, kind: str, specs, num_queries: int):
+    """Measure every method on every spec of one workload ``kind``.
+
+    Returns ``(totals, stats)`` where ``totals[method] = (run_s, infer_s)``
+    and ``stats`` records, per ``kind``, the advisor's picks and the runs
+    the fitted-model dedupe saved.
+    """
     testbed = suite.testbed
     totals: dict[str, list[float]] = {m: [0.0, 0.0] for m in METHODS}
     advisor = suite.autoce()
+    stats: dict = {"kind": kind, "datasets": len(specs),
+                   "advisor_picks": {}, "deduped_runs": 0}
     for spec in specs:
         dataset = generate_dataset(spec)
         workload = generate_workload(
@@ -66,7 +86,7 @@ def _run_kind(suite: ExperimentSuite, kind: str, specs, num_queries: int):
                                     sample_size=testbed.sample_size)
         candidates = testbed.build_candidates()
         sub_templates = _all_subtemplates(dataset, workload.test)
-        fitted = {}
+        fitted: dict[str, CEModel] = {}
         for name in CANDIDATES:
             model = candidates[name]
             model.fit(ctx)
@@ -79,15 +99,51 @@ def _run_kind(suite: ExperimentSuite, kind: str, specs, num_queries: int):
         fitted["TrueCard"] = TrueCardEstimator(dataset)
 
         graph = advisor.featurize(dataset)
-        fitted["AutoCE(w_a=0.5)"] = fitted[advisor.recommend(graph, 0.5).model]
-        fitted["AutoCE(w_a=1.0)"] = fitted[advisor.recommend(graph, 1.0).model]
+        picks = {row: advisor.recommend(graph, weight).model
+                 for row, weight in _ADVISOR_WEIGHTS.items()}
+        stats["advisor_picks"][spec.name] = dict(picks)
+
+        # One workload run per *fitted model*: an AutoCE row whose pick the
+        # sweep has already measured reuses that result bit-for-bit.
+        measured: dict[int, E2EResult] = {}
+
+        def measure(model: CEModel) -> E2EResult:
+            key = id(model)
+            if key in measured:
+                stats["deduped_runs"] += 1
+            else:
+                measured[key] = run_e2e(dataset, workload.test, model)
+            return measured[key]
 
         for method in METHODS:
-            result = run_e2e(dataset, workload.test, fitted[method])
+            model = fitted[picks.get(method, method)]
+            result = measure(model)
             totals[method][0] += result.execution_time
-            inference = (0.0 if method == "TrueCard" else result.inference_time)
-            totals[method][1] += inference
-    return {m: (v[0], v[1]) for m, v in totals.items()}
+            totals[method][1] += result.inference_time
+    return {m: (v[0], v[1]) for m, v in totals.items()}, stats
+
+
+def improvements(totals: dict[str, dict[str, tuple[float, float]]]
+                 ) -> dict[str, dict[str, float]]:
+    """Per-kind improvement of each method's total over PostgreSQL's.
+
+    A zero (or vanishing) PostgreSQL total — possible on tiny smoke
+    workloads — yields ``NaN`` for every method rather than a
+    ``ZeroDivisionError``; the table renders it as ``n/a``.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for kind, per_method in totals.items():
+        pg_total = sum(per_method["PostgreSQL"])
+        out[kind] = {
+            method: (float("nan") if pg_total <= 0.0
+                     else (pg_total - sum(times)) / pg_total)
+            for method, times in per_method.items()
+        }
+    return out
+
+
+def _format_improvement(value: float) -> str:
+    return "n/a" if math.isnan(value) else f"{value:+.1%}"
 
 
 def run(suite: ExperimentSuite | None = None, num_single: int = 2,
@@ -95,10 +151,13 @@ def run(suite: ExperimentSuite | None = None, num_single: int = 2,
         use_cache: bool = True) -> Table5Result:
     suite = suite or get_suite()
     cache = DiskCache(suite.cache_dir or DEFAULT_CACHE_DIR)
+    # Every testbed knob shapes the fitted models (and therefore the
+    # totals), so the whole config folds into the key — a changed
+    # num_train_queries/sample_size must miss, not serve stale totals.
     key = "table5_" + stable_hash({
-        "version": 3, "num_single": num_single, "num_multi": num_multi,
+        "version": 4, "num_single": num_single, "num_multi": num_multi,
         "num_queries": num_queries, "corpus": suite.num_train,
-        "seed": suite.seed,
+        "seed": suite.seed, "testbed": vars(suite.testbed),
     })
 
     def compute():
@@ -111,20 +170,16 @@ def run(suite: ExperimentSuite | None = None, num_single: int = 2,
             4_000_000 + i,
             ranges={"num_tables": (3, 5), "rows": (8_000, 15_000)})
             for i in range(num_multi)]
+        single = _run_kind(suite, "single-table", single_specs, num_queries)
+        multi = _run_kind(suite, "multi-table", multi_specs, num_queries)
         return {
-            "single-table": _run_kind(suite, "single", single_specs, num_queries),
-            "multi-table": _run_kind(suite, "multi", multi_specs, num_queries),
+            "totals": {"single-table": single[0], "multi-table": multi[0]},
+            "stats": {"single-table": single[1], "multi-table": multi[1]},
         }
 
-    totals = cache.get_or_compute(key, compute) if use_cache else compute()
-
-    improvement: dict[str, dict[str, float]] = {}
-    for kind, per_method in totals.items():
-        pg_total = sum(per_method["PostgreSQL"])
-        improvement[kind] = {
-            method: (pg_total - sum(times)) / pg_total
-            for method, times in per_method.items()
-        }
+    payload = cache.get_or_compute(key, compute) if use_cache else compute()
+    totals, stats = payload["totals"], payload["stats"]
+    improvement = improvements(totals)
 
     rows = []
     for method in METHODS:
@@ -134,11 +189,11 @@ def run(suite: ExperimentSuite | None = None, num_single: int = 2,
             method,
             f"{s_run:.3f}s + {s_inf:.3f}s",
             f"{m_run:.3f}s + {m_inf:.3f}s",
-            f"{improvement['single-table'][method]:+.1%}",
-            f"{improvement['multi-table'][method]:+.1%}",
+            _format_improvement(improvement["single-table"][method]),
+            _format_improvement(improvement["multi-table"][method]),
         ])
     text = format_table(
         ["method", "single-table (run + infer)", "multi-table (run + infer)",
          "single impr.", "multi impr."],
         rows, title="Table V: end-to-end latency in the PostgreSQL substitute")
-    return Table5Result(totals, improvement, text)
+    return Table5Result(totals, improvement, text, stats)

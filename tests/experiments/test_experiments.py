@@ -56,6 +56,20 @@ class TestUtils:
         assert stats["mean"] == pytest.approx(2.0)
         assert summarize([])["mean"] == 0.0
 
+    def test_improvements_zero_baseline_is_nan(self):
+        from repro.experiments.table5_e2e import (_format_improvement,
+                                                  improvements)
+        totals = {"single-table": {"PostgreSQL": (0.0, 0.0),
+                                   "TrueCard": (1.0, 0.0)},
+                  "multi-table": {"PostgreSQL": (2.0, 2.0),
+                                  "TrueCard": (1.0, 1.0)}}
+        out = improvements(totals)
+        assert np.isnan(out["single-table"]["TrueCard"])
+        assert np.isnan(out["single-table"]["PostgreSQL"])
+        assert out["multi-table"]["TrueCard"] == pytest.approx(0.5)
+        assert _format_improvement(out["single-table"]["TrueCard"]) == "n/a"
+        assert _format_improvement(out["multi-table"]["TrueCard"]) == "+50.0%"
+
 
 class TestCorpus:
     def test_label_one(self):
